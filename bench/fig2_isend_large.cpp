@@ -1,0 +1,36 @@
+// Figure 2: average MPI_Isend times for large messages. The shape targets:
+// a knee at 16 KB (MPICH eager -> rendezvous switch), near-identical
+// curves for lightly loaded configurations, and severe degradation for
+// 64 x 1 once inter-switch traffic saturates the 2.1 Gbit/s stack trunk
+// (and for x2 configurations once the shared NIC saturates).
+#include "bench_util.h"
+
+int main() {
+  benchutil::banner("Figure 2", "MPI_Isend large messages, average times");
+  const int reps = benchutil::scaled(80, 16);
+  const std::vector<net::Bytes> sizes{1024,  2048,  4096,   8192,  16384,
+                                      32768, 65536, 131072, 262144};
+  struct Config {
+    int nodes;
+    int ppn;
+  };
+  const std::vector<Config> configs{
+      {2, 1}, {16, 1}, {32, 1}, {64, 1}, {32, 2}, {64, 2}};
+
+  std::printf(
+      "config,bytes,min_us,avg_us,max_us,mbit_eff,tcp_timeouts,drops\n");
+  for (const Config& config : configs) {
+    for (const net::Bytes size : sizes) {
+      const auto result = mpibench::run_isend(
+          benchutil::bench_options(config.nodes, config.ppn, reps), size);
+      const auto& s = result.oneway.summary();
+      std::printf("%dx%d,%llu,%.1f,%.1f,%.1f,%.1f,%llu,%llu\n", config.nodes,
+                  config.ppn, static_cast<unsigned long long>(size),
+                  s.min() * 1e6, s.mean() * 1e6, s.max() * 1e6,
+                  static_cast<double>(size) * 8.0 / s.mean() / 1e6,
+                  static_cast<unsigned long long>(result.tcp_timeouts),
+                  static_cast<unsigned long long>(result.link_drops));
+    }
+  }
+  return 0;
+}

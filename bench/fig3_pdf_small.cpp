@@ -1,0 +1,35 @@
+// Figure 3: sampled performance profiles (PDFs) for MPI_Isend with small
+// messages at 64 x 2 — high contention for both the per-node NIC and the
+// network backplane. The distributions should rise from a bounded minimum
+// to a peak near the average and drop off quickly, with rare outliers.
+#include "bench_util.h"
+
+#include "stats/fit.h"
+
+int main() {
+  benchutil::banner("Figure 3", "MPI_Isend PDFs, 64x2, small messages");
+  const int reps = benchutil::scaled(400, 50);
+  const std::vector<net::Bytes> sizes{0, 256, 512, 1024};
+
+  for (const net::Bytes size : sizes) {
+    auto opt = benchutil::bench_options(64, 2, reps);
+    opt.bin_width_us = 10.0;
+    const auto result = mpibench::run_isend(opt, size);
+    const auto& s = result.oneway.summary();
+    const auto dist = result.distribution();
+    const auto fit = stats::fit_best(dist);
+    std::printf("\n# size=%llu B: min=%.1f avg=%.1f p99=%.1f max=%.1f us; "
+                "best fit %s (KS %.3f)\n",
+                static_cast<unsigned long long>(size), s.min() * 1e6,
+                s.mean() * 1e6, dist.quantile(0.99) * 1e6, s.max() * 1e6,
+                stats::to_string(fit.distribution.family).c_str(), fit.ks);
+    std::printf("size,bin_lo_us,bin_hi_us,density_per_us\n");
+    for (const auto& bin : result.oneway.bins()) {
+      if (bin.count == 0) continue;
+      std::printf("%llu,%.1f,%.1f,%.6f\n",
+                  static_cast<unsigned long long>(size), bin.lo * 1e6,
+                  bin.hi * 1e6, bin.density * 1e-6);
+    }
+  }
+  return 0;
+}

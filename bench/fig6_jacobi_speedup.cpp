@@ -1,0 +1,76 @@
+// Figure 6: PEVPM-predicted versus measured Jacobi speedups across
+// 2-64 nodes x 1-2 processes per node, with the paper's four prediction
+// classes:
+//
+//   pevpm_dist  — full distributions + scoreboard contention (the PEVPM)
+//   avg_nxp     — averages from the matching n x p benchmark
+//   avg_2x1     — averages from plain 2x1 ping-pong data
+//   min_2x1     — minimum (ideal) ping-pong times
+//
+// Shape targets from the paper: pevpm_dist tracks the measured curve within
+// a few percent everywhere; min/avg 2x1 always overestimate speedup, with
+// the error growing with the total number of processors.
+#include "bench_util.h"
+#include "jacobi_workload.h"
+
+int main() {
+  benchutil::banner("Figure 6", "Jacobi speedups: measured vs predictions");
+  const int iterations = benchutil::scaled(100, 10);
+  const int table_reps = benchutil::scaled(200, 40);
+
+  struct Config {
+    int nodes;
+    int ppn;
+  };
+  std::vector<Config> configs;
+  for (const int n : {2, 4, 8, 16, 32, 64}) configs.push_back({n, 1});
+  for (const int n : {2, 4, 8, 16, 32, 64}) configs.push_back({n, 2});
+
+  // One distribution table covering every configuration's contention level.
+  std::vector<mpibench::Config> bench_configs;
+  for (const Config& c : configs) bench_configs.push_back({c.nodes, c.ppn});
+  const std::vector<net::Bytes> sizes{jacobi::kHaloBytes};
+  const auto table = mpibench::measure_isend_table(
+      benchutil::bench_options(2, 1, table_reps), sizes, bench_configs);
+
+  const pevpm::Model model = jacobi::model();
+  const double t1 = jacobi::kSerialSeconds;  // per-iteration serial time
+
+  std::printf(
+      "config,procs,measured_speedup,pevpm_dist,avg_nxp,avg_2x1,min_2x1,"
+      "pevpm_err_pct\n");
+  for (const Config& config : configs) {
+    const int procs = config.nodes * config.ppn;
+    const double actual =
+        jacobi::measure_actual(config.nodes, config.ppn, iterations) /
+        iterations;
+
+    pevpm::SamplerOptions dist_opts;  // full PEVPM
+    const double dist =
+        jacobi::predict_one_iteration(model, procs, table, dist_opts);
+
+    pevpm::SamplerOptions avg_nxp_opts;
+    avg_nxp_opts.mode = pevpm::PredictionMode::kAverage;
+    avg_nxp_opts.contention = pevpm::ContentionSource::kFixed;
+    avg_nxp_opts.fixed_contention = std::max(1, procs / 2);
+    const double avg_nxp =
+        jacobi::predict_one_iteration(model, procs, table, avg_nxp_opts);
+
+    pevpm::SamplerOptions avg_2x1_opts = avg_nxp_opts;
+    avg_2x1_opts.fixed_contention = 1;
+    const double avg_2x1 =
+        jacobi::predict_one_iteration(model, procs, table, avg_2x1_opts);
+
+    pevpm::SamplerOptions min_2x1_opts = avg_2x1_opts;
+    min_2x1_opts.mode = pevpm::PredictionMode::kMinimum;
+    const double min_2x1 =
+        jacobi::predict_one_iteration(model, procs, table, min_2x1_opts);
+
+    std::printf("%dx%d,%d,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f\n", config.nodes,
+                config.ppn, procs, t1 / actual, t1 / dist, t1 / avg_nxp,
+                t1 / avg_2x1, t1 / min_2x1, 100.0 * (dist - actual) / actual);
+  }
+  std::printf("# measured_speedup uses per-iteration times; T1 = %.2f s\n",
+              t1);
+  return 0;
+}

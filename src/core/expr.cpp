@@ -1,0 +1,314 @@
+#include "core/expr.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+namespace pevpm {
+namespace {
+
+[[nodiscard]] bool is_integral(double v) noexcept {
+  return std::floor(v) == v && std::fabs(v) < 9.007199254740992e15;
+}
+
+class Constant final : public Expr {
+ public:
+  explicit Constant(double value) : value_{value} {}
+  double eval(const Bindings&) const override { return value_; }
+  std::string str() const override {
+    std::ostringstream os;
+    os << value_;
+    return os.str();
+  }
+  void collect_vars(std::vector<std::string>&) const override {}
+
+ private:
+  double value_;
+};
+
+class Variable final : public Expr {
+ public:
+  explicit Variable(std::string name) : name_{std::move(name)} {}
+  double eval(const Bindings& env) const override {
+    const auto it = env.find(name_);
+    if (it == env.end()) {
+      throw std::runtime_error{"unbound PEVPM variable '" + name_ + "'"};
+    }
+    return it->second;
+  }
+  std::string str() const override { return name_; }
+  void collect_vars(std::vector<std::string>& out) const override {
+    out.push_back(name_);
+  }
+
+ private:
+  std::string name_;
+};
+
+enum class Op {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+std::string_view op_str(Op op) {
+  switch (op) {
+    case Op::kAdd: return "+";
+    case Op::kSub: return "-";
+    case Op::kMul: return "*";
+    case Op::kDiv: return "/";
+    case Op::kMod: return "%";
+    case Op::kEq: return "==";
+    case Op::kNe: return "!=";
+    case Op::kLt: return "<";
+    case Op::kLe: return "<=";
+    case Op::kGt: return ">";
+    case Op::kGe: return ">=";
+    case Op::kAnd: return "&&";
+    case Op::kOr: return "||";
+  }
+  return "?";
+}
+
+class Binary final : public Expr {
+ public:
+  Binary(Op op, ExprPtr lhs, ExprPtr rhs)
+      : op_{op}, lhs_{std::move(lhs)}, rhs_{std::move(rhs)} {}
+
+  double eval(const Bindings& env) const override {
+    const double a = lhs_->eval(env);
+    // Short-circuit logic first.
+    if (op_ == Op::kAnd) return (a != 0.0 && rhs_->eval(env) != 0.0) ? 1 : 0;
+    if (op_ == Op::kOr) return (a != 0.0 || rhs_->eval(env) != 0.0) ? 1 : 0;
+    const double b = rhs_->eval(env);
+    switch (op_) {
+      case Op::kAdd: return a + b;
+      case Op::kSub: return a - b;
+      case Op::kMul: return a * b;
+      case Op::kDiv:
+        if (b == 0.0) throw std::runtime_error{"PEVPM expression: division by zero"};
+        // Division is always real: time expressions like "1/numprocs" must
+        // not truncate. Rank/size contexts truncate at eval_int instead.
+        return a / b;
+      case Op::kMod: {
+        if (b == 0.0) throw std::runtime_error{"PEVPM expression: modulo by zero"};
+        if (is_integral(a) && is_integral(b)) {
+          return static_cast<double>(static_cast<long long>(a) %
+                                     static_cast<long long>(b));
+        }
+        return std::fmod(a, b);
+      }
+      case Op::kEq: return a == b ? 1 : 0;
+      case Op::kNe: return a != b ? 1 : 0;
+      case Op::kLt: return a < b ? 1 : 0;
+      case Op::kLe: return a <= b ? 1 : 0;
+      case Op::kGt: return a > b ? 1 : 0;
+      case Op::kGe: return a >= b ? 1 : 0;
+      case Op::kAnd:
+      case Op::kOr: break;  // handled above
+    }
+    return 0.0;
+  }
+
+  std::string str() const override {
+    std::ostringstream os;
+    os << '(' << lhs_->str() << ' ' << op_str(op_) << ' ' << rhs_->str()
+       << ')';
+    return os.str();
+  }
+
+  void collect_vars(std::vector<std::string>& out) const override {
+    lhs_->collect_vars(out);
+    rhs_->collect_vars(out);
+  }
+
+ private:
+  Op op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+class Unary final : public Expr {
+ public:
+  Unary(char op, ExprPtr arg) : op_{op}, arg_{std::move(arg)} {}
+  double eval(const Bindings& env) const override {
+    const double v = arg_->eval(env);
+    return op_ == '-' ? -v : (v == 0.0 ? 1.0 : 0.0);
+  }
+  std::string str() const override {
+    return std::string{op_} + arg_->str();
+  }
+  void collect_vars(std::vector<std::string>& out) const override {
+    arg_->collect_vars(out);
+  }
+
+ private:
+  char op_;
+  ExprPtr arg_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_{text} {}
+
+  ExprPtr parse() {
+    ExprPtr expr = parse_or();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return expr;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError{"expression error at offset " + std::to_string(pos_) +
+                     " in '" + std::string{text_} + "': " + what};
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(
+                                      text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool eat(std::string_view token) {
+    skip_ws();
+    if (text_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  ExprPtr parse_or() {
+    ExprPtr lhs = parse_and();
+    while (eat("||")) {
+      lhs = std::make_shared<Binary>(Op::kOr, lhs, parse_and());
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr lhs = parse_cmp();
+    while (eat("&&")) {
+      lhs = std::make_shared<Binary>(Op::kAnd, lhs, parse_cmp());
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_cmp() {
+    ExprPtr lhs = parse_add();
+    if (eat("==")) return std::make_shared<Binary>(Op::kEq, lhs, parse_add());
+    if (eat("!=")) return std::make_shared<Binary>(Op::kNe, lhs, parse_add());
+    if (eat("<=")) return std::make_shared<Binary>(Op::kLe, lhs, parse_add());
+    if (eat(">=")) return std::make_shared<Binary>(Op::kGe, lhs, parse_add());
+    if (peek() == '<' && text_.substr(pos_, 2) != "<<") {
+      ++pos_;
+      return std::make_shared<Binary>(Op::kLt, lhs, parse_add());
+    }
+    if (peek() == '>' && text_.substr(pos_, 2) != ">>") {
+      ++pos_;
+      return std::make_shared<Binary>(Op::kGt, lhs, parse_add());
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_add() {
+    ExprPtr lhs = parse_mul();
+    for (;;) {
+      if (eat("+")) {
+        lhs = std::make_shared<Binary>(Op::kAdd, lhs, parse_mul());
+      } else if (peek() == '-') {
+        ++pos_;
+        lhs = std::make_shared<Binary>(Op::kSub, lhs, parse_mul());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr parse_mul() {
+    ExprPtr lhs = parse_unary();
+    for (;;) {
+      if (eat("*")) {
+        lhs = std::make_shared<Binary>(Op::kMul, lhs, parse_unary());
+      } else if (eat("/")) {
+        lhs = std::make_shared<Binary>(Op::kDiv, lhs, parse_unary());
+      } else if (eat("%")) {
+        lhs = std::make_shared<Binary>(Op::kMod, lhs, parse_unary());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr parse_unary() {
+    if (peek() == '-' ) {
+      ++pos_;
+      return std::make_shared<Unary>('-', parse_unary());
+    }
+    if (peek() == '!' && text_.substr(pos_, 2) != "!=") {
+      ++pos_;
+      return std::make_shared<Unary>('!', parse_unary());
+    }
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of expression");
+    const char c = text_[pos_];
+    if (c == '(') {
+      ++pos_;
+      ExprPtr inner = parse_or();
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ')') fail("expected ')'");
+      ++pos_;
+      return inner;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      const char* begin = text_.data() + pos_;
+      char* end = nullptr;
+      const double value = std::strtod(begin, &end);
+      if (end == begin) fail("bad number");
+      pos_ += static_cast<std::size_t>(end - begin);
+      return std::make_shared<Constant>(value);
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      const std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+      return std::make_shared<Variable>(
+          std::string{text_.substr(start, pos_ - start)});
+    }
+    fail(std::string{"unexpected character '"} + c + "'");
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ExprPtr parse_expr(std::string_view text) { return Parser{text}.parse(); }
+
+ExprPtr constant(double value) { return std::make_shared<Constant>(value); }
+
+ExprPtr variable(std::string name) {
+  return std::make_shared<Variable>(std::move(name));
+}
+
+long eval_int(const Expr& expr, const Bindings& env) {
+  return static_cast<long>(expr.eval(env));
+}
+
+}  // namespace pevpm

@@ -1,0 +1,61 @@
+// Symbolic expressions for PEVPM models.
+//
+// The paper stresses that PEVPM models retain machine and program
+// parameters (procnum, numprocs, problem sizes...) *symbolically*, so one
+// model can be re-evaluated for many machine configurations. Directive
+// operands (loop counts, message sizes, Runon guards, Serial times) are
+// therefore expressions over named variables, parsed once and evaluated
+// against a binding environment per virtual process.
+//
+// Grammar (C-like precedence):
+//   or     := and ('||' and)*
+//   and    := cmp ('&&' cmp)*
+//   cmp    := add (('=='|'!='|'<='|'>='|'<'|'>') add)?
+//   add    := mul (('+'|'-') mul)*
+//   mul    := unary (('*'|'/'|'%') unary)*
+//   unary  := ('-'|'!') unary | primary
+//   primary:= number | identifier | '(' or ')'
+// Comparisons and logic yield 0/1. '%' and '/' on integral operands use
+// integer semantics (like the C snippets the annotations sit beside).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pevpm {
+
+/// Variable environment. Values are doubles; integer contexts truncate.
+using Bindings = std::map<std::string, double, std::less<>>;
+
+class Expr {
+ public:
+  virtual ~Expr() = default;
+  [[nodiscard]] virtual double eval(const Bindings& env) const = 0;
+  /// Round-trippable textual form (for model dumps).
+  [[nodiscard]] virtual std::string str() const = 0;
+  /// Names of all variables referenced (for validation/documentation).
+  virtual void collect_vars(std::vector<std::string>& out) const = 0;
+};
+
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Parses an expression. Throws ParseError with position info on failure.
+[[nodiscard]] ExprPtr parse_expr(std::string_view text);
+
+/// Convenience: constant / variable leaf constructors for the builder API.
+[[nodiscard]] ExprPtr constant(double value);
+[[nodiscard]] ExprPtr variable(std::string name);
+
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Evaluates and truncates toward zero, for counts/ranks/sizes.
+[[nodiscard]] long eval_int(const Expr& expr, const Bindings& env);
+
+}  // namespace pevpm

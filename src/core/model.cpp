@@ -1,0 +1,204 @@
+#include "core/model.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace pevpm {
+
+std::string to_string(MsgOp op) {
+  switch (op) {
+    case MsgOp::kSend: return "send";
+    case MsgOp::kRecv: return "recv";
+    case MsgOp::kIsend: return "isend";
+    case MsgOp::kIrecv: return "irecv";
+  }
+  return "?";
+}
+
+std::string to_string(CollOp op) {
+  switch (op) {
+    case CollOp::kBarrier: return "barrier";
+    case CollOp::kBcast: return "bcast";
+    case CollOp::kReduce: return "reduce";
+    case CollOp::kAllreduce: return "allreduce";
+    case CollOp::kAlltoall: return "alltoall";
+  }
+  return "?";
+}
+
+namespace {
+
+void print_body(std::ostringstream& os, const Body& body, int indent);
+
+void print_node(std::ostringstream& os, const Node& node, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  if (const auto* serial = std::get_if<SerialNode>(&node.data)) {
+    os << pad << "serial time = " << serial->seconds->str();
+    if (!serial->label.empty()) os << "  # " << serial->label;
+    os << '\n';
+  } else if (const auto* msg = std::get_if<MessageNode>(&node.data)) {
+    os << pad << "message " << to_string(msg->op)
+       << " size = " << msg->size->str()
+       << (msg->op == MsgOp::kSend || msg->op == MsgOp::kIsend ? " to = "
+                                                               : " from = ")
+       << msg->peer->str();
+    if (!msg->handle.empty()) os << " handle = " << msg->handle;
+    os << '\n';
+  } else if (const auto* wait = std::get_if<WaitNode>(&node.data)) {
+    os << pad << "wait handle = " << wait->handle << '\n';
+  } else if (const auto* coll = std::get_if<CollectiveNode>(&node.data)) {
+    os << pad << to_string(coll->op);
+    if (coll->size) os << " size = " << coll->size->str();
+    if (coll->root) os << " root = " << coll->root->str();
+    os << '\n';
+  } else if (const auto* runon = std::get_if<RunonNode>(&node.data)) {
+    os << pad << "runon " << runon->condition->str() << " {\n";
+    print_body(os, runon->then_body, indent + 1);
+    if (!runon->else_body.empty()) {
+      os << pad << "} else {\n";
+      print_body(os, runon->else_body, indent + 1);
+    }
+    os << pad << "}\n";
+  } else if (const auto* loop = std::get_if<LoopNode>(&node.data)) {
+    os << pad << "loop " << loop->count->str();
+    if (!loop->var.empty()) os << " as " << loop->var;
+    os << " {\n";
+    print_body(os, loop->body, indent + 1);
+    os << pad << "}\n";
+  }
+}
+
+void print_body(std::ostringstream& os, const Body& body, int indent) {
+  for (const NodePtr& node : body) print_node(os, *node, indent);
+}
+
+}  // namespace
+
+std::string Model::str() const {
+  std::ostringstream os;
+  if (!name.empty()) os << "# model: " << name << '\n';
+  for (const auto& [key, value] : parameters) {
+    os << "param " << key << " = " << value << '\n';
+  }
+  print_body(os, body, 0);
+  return os.str();
+}
+
+Body& ModelBuilder::current() {
+  if (stack_.empty()) return root_;
+  Frame& top = stack_.back();
+  return top.kind == Frame::Kind::kRunonElse ? top.else_body : top.then_body;
+}
+
+void ModelBuilder::push(Node node) {
+  node.id = next_id_++;
+  current().push_back(std::make_shared<Node>(std::move(node)));
+}
+
+ModelBuilder& ModelBuilder::serial(std::string_view seconds,
+                                   std::string label) {
+  push(Node{SerialNode{parse_expr(seconds), std::move(label)}, 0, 0});
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::send(std::string_view size, std::string_view to) {
+  push(Node{MessageNode{MsgOp::kSend, parse_expr(size), parse_expr(to), {}},
+            0, 0});
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::recv(std::string_view size,
+                                 std::string_view from) {
+  push(Node{MessageNode{MsgOp::kRecv, parse_expr(size), parse_expr(from), {}},
+            0, 0});
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::isend(std::string_view size, std::string_view to,
+                                  std::string handle) {
+  push(Node{MessageNode{MsgOp::kIsend, parse_expr(size), parse_expr(to),
+                        std::move(handle)},
+            0, 0});
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::irecv(std::string_view size,
+                                  std::string_view from, std::string handle) {
+  push(Node{MessageNode{MsgOp::kIrecv, parse_expr(size), parse_expr(from),
+                        std::move(handle)},
+            0, 0});
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::wait(std::string handle) {
+  push(Node{WaitNode{std::move(handle)}, 0, 0});
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::barrier() {
+  push(Node{CollectiveNode{CollOp::kBarrier, nullptr, nullptr}, 0, 0});
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::collective(CollOp op, std::string_view size,
+                                       std::string_view root) {
+  push(Node{CollectiveNode{op, parse_expr(size),
+                           root.empty() ? nullptr : parse_expr(root)},
+            0, 0});
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::loop(std::string_view count, std::string var) {
+  stack_.push_back(
+      Frame{Frame::Kind::kLoop, parse_expr(count), {}, {}, std::move(var)});
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::runon(std::string_view condition) {
+  stack_.push_back(
+      Frame{Frame::Kind::kRunonThen, parse_expr(condition), {}, {}, {}});
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::orelse() {
+  if (stack_.empty() || stack_.back().kind != Frame::Kind::kRunonThen) {
+    throw std::logic_error{"ModelBuilder::orelse: no open runon"};
+  }
+  stack_.back().kind = Frame::Kind::kRunonElse;
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::end() {
+  if (stack_.empty()) throw std::logic_error{"ModelBuilder::end: no open block"};
+  Frame frame = std::move(stack_.back());
+  stack_.pop_back();
+  if (frame.kind == Frame::Kind::kLoop) {
+    push(Node{LoopNode{std::move(frame.expr), std::move(frame.then_body),
+                       std::move(frame.loop_var)},
+              0, 0});
+  } else {
+    push(Node{RunonNode{std::move(frame.expr), std::move(frame.then_body),
+                        std::move(frame.else_body)},
+              0, 0});
+  }
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::param(std::string name, double value) {
+  parameters_[std::move(name)] = value;
+  return *this;
+}
+
+Model ModelBuilder::build(std::string name) {
+  if (!stack_.empty()) {
+    throw std::logic_error{"ModelBuilder::build: unclosed block"};
+  }
+  Model model;
+  model.body = std::move(root_);
+  model.parameters = std::move(parameters_);
+  model.name = std::move(name);
+  model.node_count = next_id_ - 1;
+  return model;
+}
+
+}  // namespace pevpm

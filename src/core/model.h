@@ -1,0 +1,157 @@
+// PEVPM model representation: the directive AST.
+//
+// The paper's performance directives (Figure 5) compose the computation and
+// communication structure of a message-passing program:
+//
+//   Serial   — a serial computation segment with a (symbolic) duration
+//   Message  — a point-to-point transfer (MPI_Send / MPI_Recv / MPI_Isend /
+//              MPI_Irecv) with symbolic size and endpoints
+//   Wait     — completion of the most recent nonblocking operation with a
+//              matching handle name
+//   Runon    — guard: the body only executes on processes satisfying a
+//              condition, with optional else-branch
+//   Loop     — repetition with a symbolic trip count
+//
+// All operands are symbolic expressions over `procnum`, `numprocs` and any
+// user parameters, so one model re-evaluates across machine sizes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/expr.h"
+
+namespace pevpm {
+
+struct Node;
+using NodePtr = std::shared_ptr<const Node>;
+using Body = std::vector<NodePtr>;
+
+enum class MsgOp { kSend, kRecv, kIsend, kIrecv };
+
+[[nodiscard]] std::string to_string(MsgOp op);
+
+struct SerialNode {
+  ExprPtr seconds;            ///< duration of the serial segment
+  std::string label;          ///< optional annotation for loss attribution
+};
+
+struct MessageNode {
+  MsgOp op = MsgOp::kSend;
+  ExprPtr size;               ///< bytes
+  ExprPtr peer;               ///< destination (sends) / source (recvs)
+  std::string handle;         ///< nonblocking ops: name matched by Wait
+};
+
+struct WaitNode {
+  std::string handle;         ///< which outstanding request to complete
+};
+
+enum class CollOp { kBarrier, kBcast, kReduce, kAllreduce, kAlltoall };
+
+[[nodiscard]] std::string to_string(CollOp op);
+
+/// A collective operation over all processes. Every process must execute
+/// the same sequence of collectives (MPI semantics); the VM synchronises
+/// arrivals and samples per-process completion times from the collective
+/// distribution tables (or a log-tree synthesis from point-to-point data).
+struct CollectiveNode {
+  CollOp op = CollOp::kBarrier;
+  ExprPtr size;               ///< payload bytes (null for barrier)
+  ExprPtr root;               ///< root rank where applicable (may be null)
+};
+
+struct RunonNode {
+  ExprPtr condition;
+  Body then_body;
+  Body else_body;             ///< may be empty
+};
+
+struct LoopNode {
+  ExprPtr count;
+  Body body;
+  /// Optional induction variable, bound to 0 .. count-1 in the body
+  /// ("loop numprocs - 1 as round { ... }").
+  std::string var;
+};
+
+struct Node {
+  std::variant<SerialNode, MessageNode, WaitNode, RunonNode, LoopNode,
+               CollectiveNode>
+      data;
+  int id = 0;                 ///< stable directive id (loss attribution)
+  int line = 0;               ///< source line when parsed from text
+};
+
+/// A complete model: the program body plus default parameter bindings.
+/// `numprocs` and `procnum` are bound by the evaluator; everything else the
+/// expressions reference must appear in `parameters` or be supplied at
+/// prediction time.
+struct Model {
+  Body body;
+  Bindings parameters;
+  std::string name;
+  int node_count = 0;         ///< total directives, for reporting
+
+  /// Pretty-prints the directive program.
+  [[nodiscard]] std::string str() const;
+};
+
+/// Fluent builder for constructing models programmatically.
+///
+///   ModelBuilder b;
+///   b.loop("iterations");
+///     b.runon("procnum % 2 == 0");
+///       b.send("xsize * 4", "procnum + 1");
+///       b.recv("xsize * 4", "procnum + 1");
+///     b.orelse();
+///       b.recv("xsize * 4", "procnum - 1");
+///       b.send("xsize * 4", "procnum - 1");
+///     b.end();
+///     b.serial("3.24 / numprocs");
+///   b.end();
+///   Model m = b.build("jacobi");
+class ModelBuilder {
+ public:
+  ModelBuilder& serial(std::string_view seconds, std::string label = {});
+  ModelBuilder& send(std::string_view size, std::string_view to);
+  ModelBuilder& recv(std::string_view size, std::string_view from);
+  ModelBuilder& isend(std::string_view size, std::string_view to,
+                      std::string handle);
+  ModelBuilder& irecv(std::string_view size, std::string_view from,
+                      std::string handle);
+  ModelBuilder& wait(std::string handle);
+  ModelBuilder& barrier();
+  ModelBuilder& collective(CollOp op, std::string_view size,
+                           std::string_view root = "0");
+  ModelBuilder& loop(std::string_view count, std::string var = {});
+  ModelBuilder& runon(std::string_view condition);
+  /// Switches the innermost open runon to its else-branch.
+  ModelBuilder& orelse();
+  /// Closes the innermost open loop/runon.
+  ModelBuilder& end();
+  ModelBuilder& param(std::string name, double value);
+
+  /// Finalises; throws if blocks are still open.
+  [[nodiscard]] Model build(std::string name);
+
+ private:
+  struct Frame {
+    enum class Kind { kLoop, kRunonThen, kRunonElse } kind;
+    ExprPtr expr;
+    Body then_body;
+    Body else_body;
+    std::string loop_var;
+  };
+  Body& current();
+  void push(Node node);
+
+  Body root_;
+  std::vector<Frame> stack_;
+  Bindings parameters_;
+  int next_id_ = 1;
+};
+
+}  // namespace pevpm

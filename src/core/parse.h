@@ -1,0 +1,61 @@
+// Parsers for PEVPM models.
+//
+// Two input forms are supported:
+//
+// 1. The standalone directive language (line-oriented):
+//
+//      # Jacobi iteration, 1-D decomposition
+//      param xsize = 256
+//      loop 1000 {
+//        runon procnum % 2 == 0 {
+//          message send size = xsize * 4 to = procnum + 1
+//          message recv size = xsize * 4 from = procnum + 1
+//        } else {
+//          message recv size = xsize * 4 from = procnum - 1
+//          message send size = xsize * 4 to = procnum - 1
+//        }
+//        serial time = 3.24 / numprocs
+//        wait h            # completes nonblocking op with handle h
+//      }
+//
+//    Messages may carry "handle = <name>" to name nonblocking operations
+//    (isend / irecv), completed later by "wait <name>".
+//
+// 2. Annotated C source in the paper's Figure-5 style: lines of the form
+//    "// PEVPM <directive>" with "&" continuation lines:
+//
+//      // PEVPM Loop iterations = 1000
+//      // PEVPM {
+//      // PEVPM Runon c1 = procnum%2 == 0
+//      // PEVPM &     c2 = procnum%2 != 0
+//      // PEVPM {
+//      // PEVPM Message type = MPI_Send
+//      // PEVPM &       size = xsize*4
+//      // PEVPM &       from = procnum
+//      // PEVPM &       to   = procnum+1
+//      // PEVPM }
+//      // PEVPM {
+//      ... (second Runon branch)
+//      // PEVPM }
+//      // PEVPM Serial on perseus time = 3.24/numprocs
+//      // PEVPM }
+//
+//    A Runon with k conditions is followed by k blocks (if / elif chain).
+#pragma once
+
+#include <string_view>
+
+#include "core/model.h"
+
+namespace pevpm {
+
+/// Parses the standalone directive language. Throws ParseError with line
+/// numbers on malformed input.
+[[nodiscard]] Model parse_model(std::string_view text,
+                                std::string name = "model");
+
+/// Extracts "// PEVPM" annotations from C/C++ source and builds the model.
+[[nodiscard]] Model parse_annotated_source(std::string_view source,
+                                           std::string name = "annotated");
+
+}  // namespace pevpm

@@ -1,0 +1,46 @@
+#include "core/predict.h"
+
+namespace pevpm {
+
+Prediction predict(const Model& model, int numprocs,
+                   const Bindings& overrides,
+                   const mpibench::DistributionTable& table,
+                   const PredictOptions& options) {
+  Prediction prediction;
+  stats::Rng seeder{options.seed};
+  const int reps =
+      options.sampler.mode == PredictionMode::kDistribution
+          ? options.replications
+          : 1;  // average/minimum modes are deterministic
+  for (int rep = 0; rep < reps; ++rep) {
+    DeliverySampler sampler{table, options.sampler, seeder()};
+    SimulationResult result = simulate(model, numprocs, overrides, sampler);
+    prediction.makespan.add(result.makespan);
+    prediction.deadlocked = prediction.deadlocked || result.deadlocked;
+    if (rep == reps - 1) prediction.detail = std::move(result);
+  }
+  return prediction;
+}
+
+std::vector<SpeedupPoint> predict_speedups(
+    const Model& model, const std::vector<int>& proc_counts,
+    const Bindings& overrides, const mpibench::DistributionTable& table,
+    const PredictOptions& options) {
+  const Prediction base = predict(model, 1, overrides, table, options);
+  std::vector<SpeedupPoint> points;
+  points.reserve(proc_counts.size());
+  for (const int p : proc_counts) {
+    const Prediction prediction =
+        predict(model, p, overrides, table, options);
+    points.push_back(SpeedupPoint{
+        .nprocs = p,
+        .seconds = prediction.seconds(),
+        .speedup = prediction.seconds() > 0
+                       ? base.seconds() / prediction.seconds()
+                       : 0.0,
+    });
+  }
+  return points;
+}
+
+}  // namespace pevpm

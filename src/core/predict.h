@@ -1,0 +1,53 @@
+// Replicated PEVPM evaluation: the user-facing prediction API.
+//
+// A PEVPM run is a Monte-Carlo experiment; this driver evaluates a model
+// several times with independent random streams and summarises the
+// predicted completion time. It also computes predicted speedup curves
+// (the paper's Figure 6 quantity: T_1 / T_n with T_1 taken from the
+// model's serial portion evaluated at numprocs = 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/model.h"
+#include "core/sampler.h"
+#include "core/vm.h"
+#include "stats/summary.h"
+
+namespace pevpm {
+
+struct PredictOptions {
+  SamplerOptions sampler{};
+  int replications = 8;
+  std::uint64_t seed = 1;
+};
+
+struct Prediction {
+  stats::Summary makespan;   ///< seconds, over replications
+  SimulationResult detail;   ///< last replication, full breakdown
+  bool deadlocked = false;   ///< any replication deadlocked
+
+  [[nodiscard]] double seconds() const noexcept { return makespan.mean(); }
+};
+
+/// Evaluates `model` on `numprocs` virtual processes.
+[[nodiscard]] Prediction predict(const Model& model, int numprocs,
+                                 const Bindings& overrides,
+                                 const mpibench::DistributionTable& table,
+                                 const PredictOptions& options);
+
+/// One speedup-curve point: predicted time and speedup vs the 1-process
+/// evaluation of the same model.
+struct SpeedupPoint {
+  int nprocs = 0;
+  double seconds = 0.0;
+  double speedup = 0.0;
+};
+
+[[nodiscard]] std::vector<SpeedupPoint> predict_speedups(
+    const Model& model, const std::vector<int>& proc_counts,
+    const Bindings& overrides, const mpibench::DistributionTable& table,
+    const PredictOptions& options);
+
+}  // namespace pevpm

@@ -1,0 +1,125 @@
+#include "core/sampler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pevpm {
+
+DeliverySampler::DeliverySampler(const mpibench::DistributionTable& table,
+                                 SamplerOptions options, std::uint64_t seed)
+    : table_{table}, options_{options}, rng_{seed} {}
+
+const stats::EmpiricalDistribution* DeliverySampler::cached(
+    mpibench::OpKind op, net::Bytes bytes, int contention) {
+  const auto key = std::make_tuple(static_cast<int>(op), bytes, contention);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    it = cache_.emplace(key, table_.lookup(op, bytes, contention)).first;
+  }
+  return &it->second;
+}
+
+double DeliverySampler::draw(mpibench::OpKind op, net::Bytes bytes,
+                             int contention,
+                             std::optional<double> fallback) {
+  if (table_.contentions(op).empty()) {
+    if (fallback) return *fallback;
+    throw std::runtime_error{
+        "DeliverySampler: distribution table has no entries for " +
+        mpibench::to_string(op)};
+  }
+  if (options_.sample_from_fits) {
+    const auto key = std::make_tuple(static_cast<int>(op), bytes, contention);
+    auto it = fit_cache_.find(key);
+    if (it == fit_cache_.end()) {
+      const stats::EmpiricalDistribution* dist = cached(op, bytes, contention);
+      it = fit_cache_.emplace(key, stats::fit_best(*dist).distribution).first;
+    }
+    const stats::FittedDistribution& fitted = it->second;
+    switch (options_.mode) {
+      case PredictionMode::kDistribution:
+        return std::max(fitted.support_min(), fitted.sample(rng_));
+      case PredictionMode::kAverage: return fitted.mean();
+      case PredictionMode::kMinimum: return fitted.support_min();
+    }
+    return fitted.mean();
+  }
+  const stats::EmpiricalDistribution* dist = cached(op, bytes, contention);
+  switch (options_.mode) {
+    case PredictionMode::kDistribution: return dist->sample(rng_);
+    case PredictionMode::kAverage: return dist->mean();
+    case PredictionMode::kMinimum: return dist->min();
+  }
+  return dist->mean();
+}
+
+double DeliverySampler::delivery_seconds(net::Bytes bytes, int outstanding) {
+  const int contention = options_.contention == ContentionSource::kScoreboard
+                             ? outstanding
+                             : options_.fixed_contention;
+  return draw(mpibench::OpKind::kPtpOneWay, bytes, contention, std::nullopt);
+}
+
+double DeliverySampler::sender_seconds(net::Bytes bytes, int outstanding) {
+  const int contention = options_.contention == ContentionSource::kScoreboard
+                             ? outstanding
+                             : options_.fixed_contention;
+  return draw(mpibench::OpKind::kPtpSender, bytes, contention,
+              options_.default_sender_seconds);
+}
+
+double DeliverySampler::late_recv_seconds(net::Bytes bytes, int outstanding) {
+  return sender_seconds(bytes, outstanding);
+}
+
+double DeliverySampler::collective_seconds(CollOp op, net::Bytes bytes,
+                                           int nprocs) {
+  const auto table_op = [op] {
+    switch (op) {
+      case CollOp::kBarrier: return mpibench::OpKind::kBarrier;
+      case CollOp::kBcast: return mpibench::OpKind::kBcast;
+      case CollOp::kReduce:
+      case CollOp::kAllreduce: return mpibench::OpKind::kReduce;
+      case CollOp::kAlltoall: return mpibench::OpKind::kAlltoall;
+    }
+    return mpibench::OpKind::kBarrier;
+  }();
+  if (!table_.contentions(table_op).empty()) {
+    double t = draw(table_op, bytes, nprocs, std::nullopt);
+    // No direct allreduce table: compose as reduce followed by bcast.
+    if (op == CollOp::kAllreduce &&
+        !table_.contentions(mpibench::OpKind::kBcast).empty()) {
+      t += draw(mpibench::OpKind::kBcast, bytes, nprocs, std::nullopt);
+    }
+    return t;
+  }
+  // Synthesis from point-to-point data: binomial trees are log-depth,
+  // all-to-all is (P-1) pairwise rounds. Contention during a collective is
+  // roughly one message per process pair active at a time per tree level.
+  const int c = std::max(1, nprocs / 2);
+  int rounds = 0;
+  switch (op) {
+    case CollOp::kBarrier:
+    case CollOp::kBcast:
+    case CollOp::kReduce: {
+      for (int span = 1; span < nprocs; span *= 2) ++rounds;
+      break;
+    }
+    case CollOp::kAllreduce: {
+      for (int span = 1; span < nprocs; span *= 2) ++rounds;
+      rounds *= 2;
+      break;
+    }
+    case CollOp::kAlltoall:
+      rounds = nprocs - 1;
+      break;
+  }
+  const net::Bytes per_round = op == CollOp::kBarrier ? 0 : bytes;
+  double total = 0.0;
+  for (int i = 0; i < rounds; ++i) {
+    total += draw(mpibench::OpKind::kPtpOneWay, per_round, c, std::nullopt);
+  }
+  return total;
+}
+
+}  // namespace pevpm

@@ -1,0 +1,97 @@
+// Monte-Carlo sampling of low-level operation times for the PEVPM.
+//
+// The sampler is PEVPM's only window onto the machine: it never touches the
+// network simulator, only the distribution tables produced by MPIBench —
+// exactly the closed loop the paper describes. Three prediction modes
+// reproduce the paper's Figure 6 comparison:
+//
+//   kDistribution — draw from the full empirical PDF (the PEVPM proper)
+//   kAverage      — use the distribution's mean (what conventional
+//                   modelling does with benchmark averages)
+//   kMinimum      — use the distribution's minimum (ideal, contention-free
+//                   ping-pong modelling; always over-predicts performance)
+//
+// and two contention sources:
+//
+//   kScoreboard   — pick the table level matching the number of messages
+//                   currently outstanding on the contention scoreboard
+//   kFixed        — always use one level (2 = plain ping-pong data, the
+//                   "2x1" curves; or n*p for the "n x p averages" curves)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <tuple>
+#include <utility>
+
+#include "core/model.h"
+#include "mpibench/table.h"
+#include "stats/fit.h"
+#include "stats/rng.h"
+
+namespace pevpm {
+
+enum class PredictionMode { kDistribution, kAverage, kMinimum };
+enum class ContentionSource { kScoreboard, kFixed };
+
+struct SamplerOptions {
+  PredictionMode mode = PredictionMode::kDistribution;
+  ContentionSource contention = ContentionSource::kScoreboard;
+  int fixed_contention = 2;
+  /// Fallback sender-side cost when the table lacks kPtpSender entries.
+  double default_sender_seconds = 25e-6;
+  /// Sample from parametric fits to the empirical PDFs (Section 2 of the
+  /// paper) instead of the histograms themselves. Fits smooth the bin
+  /// quantisation of coarse tables and compress table storage.
+  bool sample_from_fits = false;
+};
+
+class DeliverySampler {
+ public:
+  DeliverySampler(const mpibench::DistributionTable& table,
+                  SamplerOptions options, std::uint64_t seed);
+
+  /// One-way delivery time (seconds) for a message of `bytes` with
+  /// `outstanding` messages on the scoreboard.
+  [[nodiscard]] double delivery_seconds(net::Bytes bytes, int outstanding);
+
+  /// Local cost of the send operation at the sender.
+  [[nodiscard]] double sender_seconds(net::Bytes bytes, int outstanding);
+
+  /// Local cost of completing a receive whose message already arrived (the
+  /// one-way distribution covers receiver cost only when the receive was
+  /// waiting). Uses the kPtpSender table as a proxy for per-size local MPI
+  /// op cost.
+  [[nodiscard]] double late_recv_seconds(net::Bytes bytes, int outstanding);
+
+  /// Per-process completion time of a collective over `nprocs` processes.
+  /// Uses measured collective tables when present (keyed by nprocs on the
+  /// contention axis); otherwise synthesises a log-tree / pairwise
+  /// estimate from the point-to-point table.
+  [[nodiscard]] double collective_seconds(CollOp op, net::Bytes bytes,
+                                          int nprocs);
+
+  [[nodiscard]] const SamplerOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] stats::Rng& rng() noexcept { return rng_; }
+
+ private:
+  [[nodiscard]] double draw(mpibench::OpKind op, net::Bytes bytes,
+                            int contention, std::optional<double> fallback);
+  [[nodiscard]] const stats::EmpiricalDistribution* cached(
+      mpibench::OpKind op, net::Bytes bytes, int contention);
+
+  const mpibench::DistributionTable& table_;
+  SamplerOptions options_;
+  stats::Rng rng_;
+  /// Interpolated lookups are memoised: models use few distinct message
+  /// sizes and a bounded range of contention levels.
+  std::map<std::tuple<int, net::Bytes, int>, stats::EmpiricalDistribution>
+      cache_;
+  std::map<std::tuple<int, net::Bytes, int>, stats::FittedDistribution>
+      fit_cache_;
+};
+
+}  // namespace pevpm

@@ -1,0 +1,59 @@
+#include "core/scoreboard.h"
+
+#include <utility>
+
+namespace pevpm {
+
+MessageRef Scoreboard::add(int src, int dst, net::Bytes bytes, double depart,
+                           int send_directive) {
+  auto message = std::make_shared<TransitMessage>();
+  message->id = next_id_++;
+  message->src = src;
+  message->dst = dst;
+  message->bytes = bytes;
+  message->depart = depart;
+  message->send_directive = send_directive;
+  queues_[{src, dst}].push_back(message);
+  unassigned_.push_back(message);
+  ++outstanding_;
+  return message;
+}
+
+MessageRef Scoreboard::claim(int src, int dst) {
+  const auto it = queues_.find({src, dst});
+  if (it == queues_.end()) return nullptr;
+  for (const MessageRef& message : it->second) {
+    if (!message->claimed) {
+      message->claimed = true;
+      return message;
+    }
+  }
+  return nullptr;
+}
+
+void Scoreboard::consume(const MessageRef& message) {
+  if (message->consumed) return;
+  message->consumed = true;
+  --outstanding_;
+  auto it = queues_.find({message->src, message->dst});
+  if (it == queues_.end()) return;
+  auto& queue = it->second;
+  while (!queue.empty() && queue.front()->consumed) queue.pop_front();
+  if (queue.empty()) queues_.erase(it);
+}
+
+std::vector<MessageRef> Scoreboard::take_unassigned() {
+  return std::exchange(unassigned_, {});
+}
+
+double Scoreboard::arrival_floor(int src, int dst) const {
+  const auto it = last_arrival_.find({src, dst});
+  return it == last_arrival_.end() ? 0.0 : it->second;
+}
+
+void Scoreboard::note_arrival(int src, int dst, double arrival) {
+  double& last = last_arrival_[{src, dst}];
+  if (arrival > last) last = arrival;
+}
+
+}  // namespace pevpm

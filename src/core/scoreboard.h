@@ -1,0 +1,72 @@
+// The PEVPM contention scoreboard.
+//
+// Per the paper: "PEVPM maintains a contention scoreboard that stores the
+// state of all outstanding communication operations at any point in the
+// simulation, including message sources and destinations, departure times
+// and sizes." Messages are added during sweep phases; match phases assign
+// arrival times (sampling distributions parameterised by the scoreboard
+// population); receives consume messages in per-pair FIFO order, removing
+// them from the scoreboard.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/units.h"
+
+namespace pevpm {
+
+struct TransitMessage {
+  std::uint64_t id = 0;
+  int src = -1;
+  int dst = -1;
+  net::Bytes bytes = 0;
+  double depart = 0.0;        ///< sender clock at the send directive
+  double arrival = -1.0;      ///< assigned during a match phase
+  bool arrival_known = false;
+  bool claimed = false;       ///< reserved by a posted receive
+  bool consumed = false;      ///< delivered; awaiting removal
+  int send_directive = 0;     ///< directive id, for attribution
+};
+
+using MessageRef = std::shared_ptr<TransitMessage>;
+
+class Scoreboard {
+ public:
+  /// Adds a message in send order; returns its handle.
+  MessageRef add(int src, int dst, net::Bytes bytes, double depart,
+                 int send_directive);
+
+  /// Oldest unclaimed src->dst message, or nullptr. Marks it claimed.
+  [[nodiscard]] MessageRef claim(int src, int dst);
+
+  /// Marks a claimed message consumed and removes settled queue heads.
+  void consume(const MessageRef& message);
+
+  /// Messages in transit (added, not yet consumed) — the paper's contention
+  /// level.
+  [[nodiscard]] int outstanding() const noexcept { return outstanding_; }
+
+  /// All messages awaiting an arrival assignment, in global send order.
+  /// The returned list is consumed by the match phase (cleared after).
+  [[nodiscard]] std::vector<MessageRef> take_unassigned();
+
+  /// Per-(src,dst) in-order delivery floor: no message may arrive before
+  /// an earlier message on the same stream (TCP delivers in order).
+  [[nodiscard]] double arrival_floor(int src, int dst) const;
+  void note_arrival(int src, int dst, double arrival);
+
+  [[nodiscard]] std::uint64_t total_messages() const noexcept { return next_id_ - 1; }
+
+ private:
+  std::map<std::pair<int, int>, std::deque<MessageRef>> queues_;
+  std::map<std::pair<int, int>, double> last_arrival_;
+  std::vector<MessageRef> unassigned_;
+  int outstanding_ = 0;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace pevpm

@@ -1,0 +1,44 @@
+#include "core/theoretical.h"
+
+#include <cmath>
+
+#include "stats/histogram.h"
+#include "stats/rng.h"
+
+namespace pevpm {
+
+mpibench::DistributionTable make_theoretical_table(
+    const TheoreticalMachine& machine, std::span<const net::Bytes> sizes,
+    std::span<const int> contentions) {
+  mpibench::DistributionTable table;
+  stats::Rng rng{machine.seed};
+  for (const int contention : contentions) {
+    const double scale =
+        1.0 + machine.contention_factor * std::max(0, contention - 1);
+    for (const net::Bytes bytes : sizes) {
+      const double base =
+          (machine.latency_s +
+           static_cast<double>(bytes) / machine.bandwidth_Bps) *
+          scale;
+      // Right-skewed noise with the base as a hard minimum: multiply the
+      // excess over the minimum by a lognormal factor.
+      stats::Histogram oneway{base * 0.01 + 1e-7};
+      stats::Histogram sender{machine.sender_overhead_s * 0.05 + 1e-8};
+      for (int i = 0; i < machine.samples; ++i) {
+        const double noise =
+            std::exp(rng.normal(0.0, machine.noise_sigma)) -
+            std::exp(-machine.noise_sigma * machine.noise_sigma / 2);
+        oneway.add(base * (1.0 + std::max(0.0, noise) * 0.5));
+        sender.add(machine.sender_overhead_s *
+                   std::exp(rng.normal(0.0, machine.noise_sigma)));
+      }
+      table.insert(mpibench::OpKind::kPtpOneWay, bytes, contention,
+                   stats::EmpiricalDistribution{oneway});
+      table.insert(mpibench::OpKind::kPtpSender, bytes, contention,
+                   stats::EmpiricalDistribution{sender});
+    }
+  }
+  return table;
+}
+
+}  // namespace pevpm

@@ -1,0 +1,39 @@
+// Theoretical distribution tables.
+//
+// Section 5: the probability distributions PEVPM samples "can either be
+// theoretical, or empirically determined by benchmarking low-level
+// operations with MPIBench". This module provides the theoretical option:
+// a Hockney-style T = l + b/W base cost with a contention multiplier and a
+// right-skewed (shifted-lognormal) noise term, tabulated into the same
+// DistributionTable format the empirical pipeline produces — so models can
+// be evaluated for hypothetical machines that have never been benchmarked.
+#pragma once
+
+#include <span>
+
+#include "mpibench/table.h"
+#include "net/units.h"
+
+namespace pevpm {
+
+struct TheoreticalMachine {
+  double latency_s = 75e-6;           ///< l: contention-free one-way latency
+  double bandwidth_Bps = 11.0e6;      ///< W: asymptotic one-way bandwidth
+  double sender_overhead_s = 30e-6;   ///< local send op cost
+  /// Extra fractional delay per additional concurrent message in flight:
+  /// mean time scales by (1 + contention_factor * (c - 1)).
+  double contention_factor = 0.004;
+  /// Lognormal dispersion of the noise term (sigma of log).
+  double noise_sigma = 0.10;
+  /// Number of synthetic samples per table entry.
+  int samples = 2000;
+  std::uint64_t seed = 1;
+};
+
+/// Builds a table with kPtpOneWay and kPtpSender entries for the given
+/// message sizes and contention levels.
+[[nodiscard]] mpibench::DistributionTable make_theoretical_table(
+    const TheoreticalMachine& machine, std::span<const net::Bytes> sizes,
+    std::span<const int> contentions);
+
+}  // namespace pevpm

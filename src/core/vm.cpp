@@ -1,0 +1,349 @@
+#include "core/vm.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pevpm {
+
+std::vector<std::pair<int, double>> SimulationResult::top_losses(
+    std::size_t count) const {
+  std::map<int, double> merged;
+  for (const ProcessReport& report : processes) {
+    for (const auto& [directive, loss] : report.blocked_by_directive) {
+      merged[directive] += loss;
+    }
+  }
+  std::vector<std::pair<int, double>> out(merged.begin(), merged.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  if (out.size() > count) out.resize(count);
+  return out;
+}
+
+Vm::Vm(const Model& model, int numprocs, const Bindings& overrides,
+       DeliverySampler& sampler)
+    : model_{model}, numprocs_{numprocs}, sampler_{sampler} {
+  if (numprocs < 1) throw ModelError{"Vm: numprocs < 1"};
+  processes_.resize(numprocs);
+  for (int r = 0; r < numprocs; ++r) {
+    Process& proc = processes_[r];
+    proc.rank = r;
+    proc.env = model.parameters;
+    for (const auto& [key, value] : overrides) proc.env[key] = value;
+    proc.env["numprocs"] = static_cast<double>(numprocs);
+    proc.env["procnum"] = static_cast<double>(r);
+    proc.stack.push_back(Frame{&model.body, 0, 0, false});
+  }
+}
+
+int Vm::eval_rank(const Process& proc, const Expr& expr,
+                  const char* what) const {
+  const long value = eval_int(expr, proc.env);
+  if (value < 0 || value >= numprocs_) {
+    std::ostringstream os;
+    os << what << " rank " << value << " out of range [0, " << numprocs_
+       << ") at process " << proc.rank << " (" << expr.str() << ")";
+    throw ModelError{os.str()};
+  }
+  return static_cast<int>(value);
+}
+
+bool Vm::try_receive(Process& proc, Claim& claim, int directive) {
+  if (!claim.message) {
+    claim.message = scoreboard_.claim(claim.src, proc.rank);
+  }
+  if (!claim.message || !claim.message->arrival_known) {
+    if (!proc.blocked) {
+      proc.blocked = true;
+      proc.blocked_directive = directive;
+      proc.blocked_since = proc.clock;
+    }
+    return false;
+  }
+  // Deliver. The one-way distribution spans send start to receive
+  // completion, so a receive that waited finishes at the arrival time; a
+  // receive that found its message already delivered still pays the local
+  // cost of draining it from the buffer.
+  const double before = proc.clock;
+  if (claim.message->arrival > proc.clock) {
+    proc.clock = claim.message->arrival;
+  } else {
+    proc.clock += sampler_.late_recv_seconds(claim.message->bytes,
+                                             scoreboard_.outstanding());
+  }
+  const double idle = proc.clock - before;
+  proc.report.blocked += idle;
+  if (idle > 0.0) proc.report.blocked_by_directive[directive] += idle;
+  scoreboard_.consume(claim.message);
+  claim.message.reset();
+  claim.pending = false;
+  proc.blocked = false;
+  return true;
+}
+
+bool Vm::exec(Process& proc, const Node& node) {
+  if (const auto* serial = std::get_if<SerialNode>(&node.data)) {
+    const double dt = serial->seconds->eval(proc.env);
+    if (dt < 0) throw ModelError{"Serial directive with negative time"};
+    proc.clock += dt;
+    proc.report.compute += dt;
+    return true;
+  }
+  if (const auto* msg = std::get_if<MessageNode>(&node.data)) {
+    const long size_value = eval_int(*msg->size, proc.env);
+    if (size_value < 0) throw ModelError{"message with negative size"};
+    const auto bytes = static_cast<net::Bytes>(size_value);
+    switch (msg->op) {
+      case MsgOp::kSend:
+      case MsgOp::kIsend: {
+        const int dst = eval_rank(proc, *msg->peer, "send to");
+        if (dst == proc.rank) {
+          throw ModelError{"message sent to self at process " +
+                           std::to_string(proc.rank)};
+        }
+        scoreboard_.add(proc.rank, dst, bytes, proc.clock, node.id);
+        const double cost =
+            sampler_.sender_seconds(bytes, scoreboard_.outstanding());
+        proc.clock += cost;
+        proc.report.send_overhead += cost;
+        if (msg->op == MsgOp::kIsend && !msg->handle.empty()) {
+          Claim claim;
+          claim.pending = false;  // eager: locally complete at once
+          proc.handles[msg->handle] = claim;
+        }
+        return true;
+      }
+      case MsgOp::kRecv: {
+        if (!proc.blocked) {
+          proc.wanted = Claim{};
+          proc.wanted.src = eval_rank(proc, *msg->peer, "recv from");
+          proc.wanted.bytes = bytes;
+        }
+        return try_receive(proc, proc.wanted, node.id);
+      }
+      case MsgOp::kIrecv: {
+        if (msg->handle.empty()) {
+          throw ModelError{"irecv requires a handle"};
+        }
+        Claim claim;
+        claim.src = eval_rank(proc, *msg->peer, "irecv from");
+        claim.bytes = bytes;
+        claim.message = scoreboard_.claim(claim.src, proc.rank);
+        proc.handles[msg->handle] = std::move(claim);
+        return true;
+      }
+    }
+    return true;
+  }
+  if (const auto* wait = std::get_if<WaitNode>(&node.data)) {
+    const auto it = proc.handles.find(wait->handle);
+    if (it == proc.handles.end()) {
+      throw ModelError{"wait on unknown handle '" + wait->handle + "'"};
+    }
+    if (!it->second.pending) {  // completed send (or already-satisfied op)
+      proc.handles.erase(it);
+      return true;
+    }
+    if (!try_receive(proc, it->second, node.id)) return false;
+    proc.handles.erase(it);
+    return true;
+  }
+  if (const auto* runon = std::get_if<RunonNode>(&node.data)) {
+    const bool taken = runon->condition->eval(proc.env) != 0.0;
+    const Body& body = taken ? runon->then_body : runon->else_body;
+    if (!body.empty()) {
+      proc.stack.push_back(Frame{&body, 0, 0, false});
+    }
+    return true;
+  }
+  if (const auto* loop = std::get_if<LoopNode>(&node.data)) {
+    const long n = eval_int(*loop->count, proc.env);
+    if (n > 0 && !loop->body.empty()) {
+      Frame frame{&loop->body, 0, n, true};
+      if (!loop->var.empty()) {
+        frame.loop_var = &loop->var;
+        proc.env[loop->var] = 0.0;
+      }
+      proc.stack.push_back(frame);
+    }
+    return true;
+  }
+  if (const auto* coll = std::get_if<CollectiveNode>(&node.data)) {
+    if (!proc.blocked) {
+      // First arrival: record operands, then wait for everyone.
+      long size_value = 0;
+      if (coll->size) size_value = eval_int(*coll->size, proc.env);
+      if (size_value < 0) throw ModelError{"collective with negative size"};
+      if (coll->root) {
+        (void)eval_rank(proc, *coll->root, "collective root");
+      }
+      proc.coll_bytes = static_cast<net::Bytes>(size_value);
+      proc.at_collective = true;
+      proc.coll_ready = false;
+      proc.blocked = true;
+      proc.blocked_directive = node.id;
+      proc.blocked_since = proc.clock;
+      return false;
+    }
+    if (!proc.coll_ready) return false;  // others still on their way
+    const double before = proc.clock;
+    proc.clock = std::max(proc.clock, proc.coll_exit);
+    const double idle = proc.clock - before;
+    proc.report.blocked += idle;
+    if (idle > 0.0) proc.report.blocked_by_directive[node.id] += idle;
+    proc.at_collective = false;
+    proc.coll_ready = false;
+    proc.blocked = false;
+    ++proc.coll_seq;
+    return true;
+  }
+  throw ModelError{"unknown directive"};
+}
+
+void Vm::resolve_collectives() {
+  // A collective completes only when every process has arrived at the same
+  // directive of the same collective round.
+  long seq = -1;
+  int directive = -1;
+  double latest_arrival = 0.0;
+  for (const Process& proc : processes_) {
+    if (proc.finished || !proc.at_collective || proc.coll_ready) return;
+    if (seq == -1) {
+      seq = proc.coll_seq;
+      directive = proc.blocked_directive;
+    } else if (proc.coll_seq != seq) {
+      return;  // someone is a round behind; let them catch up
+    } else if (proc.blocked_directive != directive) {
+      throw ModelError{
+          "collective mismatch: processes reached different collectives"};
+    }
+    latest_arrival = std::max(latest_arrival, proc.clock);
+  }
+  if (seq == -1) return;
+  const Node* node = nullptr;
+  // All processes are at the same collective; sample each exit time.
+  for (Process& proc : processes_) {
+    const Frame& frame = proc.stack.back();
+    node = (*frame.body)[frame.index].get();
+    const auto* coll = std::get_if<CollectiveNode>(&node->data);
+    if (coll == nullptr) {
+      throw ModelError{"internal: collective resolution on non-collective"};
+    }
+    proc.coll_exit =
+        latest_arrival +
+        sampler_.collective_seconds(coll->op, proc.coll_bytes, numprocs_);
+    proc.coll_ready = true;
+  }
+}
+
+void Vm::sweep(Process& proc) {
+  ++sweeps_;
+  // A blocked process retries its pending receive first.
+  if (proc.blocked) {
+    const std::size_t fi = proc.stack.size() - 1;
+    const Node& node = *(*proc.stack[fi].body)[proc.stack[fi].index];
+    if (!exec(proc, node)) return;  // still blocked
+    ++executed_;
+    ++proc.stack[fi].index;
+  }
+  while (!proc.stack.empty()) {
+    const std::size_t fi = proc.stack.size() - 1;
+    Frame& frame = proc.stack[fi];
+    if (frame.index >= frame.body->size()) {
+      if (frame.is_loop && --frame.remaining > 0) {
+        frame.index = 0;
+        if (frame.loop_var) {
+          proc.env[*frame.loop_var] = static_cast<double>(++frame.iteration);
+        }
+        continue;
+      }
+      proc.stack.pop_back();
+      continue;
+    }
+    const Node& node = *(*frame.body)[frame.index];
+    // exec may push a frame (runon/loop bodies), invalidating references
+    // into the stack — index through `fi` afterwards.
+    if (!exec(proc, node)) return;  // blocked at a decision point
+    ++executed_;
+    ++proc.stack[fi].index;
+  }
+  proc.finished = true;
+  proc.report.finish = proc.clock;
+}
+
+void Vm::match() {
+  ++matches_;
+  const std::vector<MessageRef> unassigned = scoreboard_.take_unassigned();
+  // The paper: delivery distributions are a function of message size and
+  // the total number of messages on the scoreboard.
+  const int contention = scoreboard_.outstanding();
+  for (const MessageRef& message : unassigned) {
+    const double sampled =
+        message->depart +
+        sampler_.delivery_seconds(message->bytes, contention);
+    // In-order delivery per stream: never ahead of an earlier message.
+    message->arrival = std::max(
+        sampled, scoreboard_.arrival_floor(message->src, message->dst));
+    scoreboard_.note_arrival(message->src, message->dst, message->arrival);
+    message->arrival_known = true;
+  }
+}
+
+SimulationResult Vm::run() {
+  for (Process& proc : processes_) sweep(proc);
+  for (;;) {
+    bool all_finished = true;
+    for (const Process& proc : processes_) {
+      if (!proc.finished) {
+        all_finished = false;
+        break;
+      }
+    }
+    if (all_finished) break;
+
+    match();
+    resolve_collectives();
+    const std::uint64_t executed_before = executed_;
+    for (Process& proc : processes_) {
+      if (proc.finished || !proc.blocked) continue;
+      sweep(proc);
+    }
+    // Progress means at least one directive completed somewhere; a round of
+    // retries that all stay blocked is a deadlock.
+    if (executed_ == executed_before) {
+      SimulationResult result = collect();
+      result.deadlocked = true;
+      for (const Process& proc : processes_) {
+        if (!proc.finished) {
+          result.deadlocked_processes.push_back(proc.rank);
+          result.deadlocked_directives.push_back(proc.blocked_directive);
+        }
+      }
+      return result;
+    }
+  }
+  return collect();
+}
+
+SimulationResult Vm::collect() const {
+  SimulationResult result;
+  result.processes.reserve(processes_.size());
+  for (const Process& proc : processes_) {
+    result.makespan = std::max(result.makespan, proc.clock);
+    result.processes.push_back(proc.report);
+    result.processes.back().finish = proc.clock;
+  }
+  result.messages = scoreboard_.total_messages();
+  result.sweep_phases = sweeps_;
+  result.match_phases = matches_;
+  return result;
+}
+
+SimulationResult simulate(const Model& model, int numprocs,
+                          const Bindings& overrides,
+                          DeliverySampler& sampler) {
+  return Vm{model, numprocs, overrides, sampler}.run();
+}
+
+}  // namespace pevpm

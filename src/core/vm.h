@@ -1,0 +1,144 @@
+// The Performance Evaluating Virtual Parallel Machine.
+//
+// Executes a PEVPM model as interleaved sweep and match phases, per the
+// paper:
+//
+//   sweep — simulate every runnable virtual process forward until it
+//           reaches a decision point (a receive whose message's arrival
+//           time is not yet known) or terminates. Sends executed during the
+//           sweep are logged on the contention scoreboard.
+//   match — assign an arrival time to every message in transit by sampling
+//           its delivery-time distribution, parameterised by message size
+//           and the scoreboard population (contention level); then deliver
+//           messages to their receives, unblocking processes.
+//
+// Evaluation alternates sweep/match until every process terminates. If a
+// full round makes no progress, the model has deadlocked; the VM reports
+// which processes are blocked at which directives. The VM also attributes
+// per-directive performance loss (time spent blocked at each receive),
+// giving the paper's "location and extent of performance loss" analysis.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "core/sampler.h"
+#include "core/scoreboard.h"
+
+namespace pevpm {
+
+/// Per-process outcome breakdown.
+struct ProcessReport {
+  double finish = 0.0;          ///< virtual clock at termination (seconds)
+  double compute = 0.0;         ///< time inside Serial directives
+  double send_overhead = 0.0;   ///< local cost of send operations
+  double blocked = 0.0;         ///< time waiting at receives
+  /// Blocked time per receive directive id — the loss-attribution map.
+  std::map<int, double> blocked_by_directive;
+};
+
+struct SimulationResult {
+  double makespan = 0.0;        ///< max finish over processes
+  std::vector<ProcessReport> processes;
+  bool deadlocked = false;
+  std::vector<int> deadlocked_processes;
+  std::vector<int> deadlocked_directives;  ///< parallel to the above
+  std::uint64_t messages = 0;
+  std::uint64_t sweep_phases = 0;
+  std::uint64_t match_phases = 0;
+
+  /// Largest per-directive blocked-time contributors, most costly first.
+  [[nodiscard]] std::vector<std::pair<int, double>> top_losses(
+      std::size_t count = 5) const;
+};
+
+/// Raised for malformed models (negative sizes, self-messages, peers out of
+/// range, Wait on an unknown handle...). Deadlock is NOT an exception: it
+/// is a legitimate analysis result, reported in SimulationResult.
+class ModelError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Vm {
+ public:
+  /// `overrides` extend/override the model's parameter bindings.
+  Vm(const Model& model, int numprocs, const Bindings& overrides,
+     DeliverySampler& sampler);
+
+  /// Runs to completion (or deadlock) and returns the result.
+  [[nodiscard]] SimulationResult run();
+
+ private:
+  struct Frame {
+    const Body* body = nullptr;
+    std::size_t index = 0;
+    long remaining = 0;  ///< loop iterations left (0 for plain blocks)
+    bool is_loop = false;
+    const std::string* loop_var = nullptr;  ///< induction variable, if any
+    long iteration = 0;
+  };
+
+  struct Claim {
+    MessageRef message;      ///< may be null until a sender catches up
+    int src = -1;
+    net::Bytes bytes = 0;
+    bool pending = true;
+  };
+
+  struct Process {
+    int rank = -1;
+    double clock = 0.0;
+    Bindings env;
+    std::vector<Frame> stack;
+    bool finished = false;
+
+    // Blocking state.
+    bool blocked = false;
+    int blocked_directive = 0;
+    double blocked_since = 0.0;
+    Claim wanted;                       ///< the receive being waited on
+    std::map<std::string, Claim> handles;  ///< outstanding nonblocking ops
+
+    // Collective synchronisation state.
+    bool at_collective = false;   ///< blocked at a collective directive
+    long coll_seq = 0;            ///< collectives completed so far
+    bool coll_ready = false;      ///< resolution assigned an exit time
+    double coll_exit = 0.0;
+    net::Bytes coll_bytes = 0;
+
+    ProcessReport report;
+  };
+
+  /// Runs `proc` until it blocks or finishes.
+  void sweep(Process& proc);
+  /// Executes one directive; returns false if the process blocked on it.
+  bool exec(Process& proc, const Node& node);
+  /// Attempts to satisfy a claim (receive); blocks the process otherwise.
+  bool try_receive(Process& proc, Claim& claim, int directive);
+  void match();
+  /// Releases a collective once every process has arrived at it.
+  void resolve_collectives();
+  [[nodiscard]] SimulationResult collect() const;
+  [[nodiscard]] int eval_rank(const Process& proc, const Expr& expr,
+                              const char* what) const;
+
+  const Model& model_;
+  int numprocs_;
+  DeliverySampler& sampler_;
+  Scoreboard scoreboard_;
+  std::vector<Process> processes_;
+  std::uint64_t sweeps_ = 0;
+  std::uint64_t matches_ = 0;
+  std::uint64_t executed_ = 0;  ///< directives completed; progress detector
+};
+
+/// Convenience: one full evaluation.
+[[nodiscard]] SimulationResult simulate(const Model& model, int numprocs,
+                                        const Bindings& overrides,
+                                        DeliverySampler& sampler);
+
+}  // namespace pevpm

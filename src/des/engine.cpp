@@ -1,0 +1,80 @@
+#include "des/engine.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace des {
+
+Engine::EventId Engine::schedule_at(SimTime t, Callback fn, int priority) {
+  if (t < now_) {
+    throw std::invalid_argument{"Engine::schedule_at: time is in the past"};
+  }
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Event{t, priority, seq, std::move(fn)});
+  live_.insert(seq);
+  return EventId{seq};
+}
+
+Engine::EventId Engine::schedule_in(SimTime dt, Callback fn, int priority) {
+  if (dt < 0) {
+    throw std::invalid_argument{"Engine::schedule_in: negative delay"};
+  }
+  return schedule_at(now_ + dt, std::move(fn), priority);
+}
+
+bool Engine::cancel(EventId id) {
+  if (!id.valid() || live_.count(id.seq) == 0) return false;
+  return cancelled_.insert(id.seq).second;
+}
+
+bool Engine::pop_head(Event& out) {
+  // priority_queue::top is const; the event is copied out. Callbacks are
+  // small (captured pointers), so the copy is cheap.
+  Event event = queue_.top();
+  queue_.pop();
+  live_.erase(event.seq);
+  if (const auto it = cancelled_.find(event.seq); it != cancelled_.end()) {
+    cancelled_.erase(it);
+    return false;
+  }
+  out = std::move(event);
+  return true;
+}
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    Event event;
+    if (!pop_head(event)) continue;
+    now_ = event.time;
+    ++processed_;
+    event.fn();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+void Engine::run_until(SimTime t) {
+  while (!queue_.empty()) {
+    if (queue_.top().time > t) {
+      if (cancelled_.count(queue_.top().seq) > 0) {
+        Event discard;
+        pop_head(discard);
+        continue;
+      }
+      break;
+    }
+    Event event;
+    if (!pop_head(event)) continue;
+    now_ = event.time;
+    ++processed_;
+    event.fn();
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace des

@@ -1,0 +1,90 @@
+// Discrete-event engine.
+//
+// Events are ordered by (time, priority, sequence number): simultaneous
+// events execute in a deterministic order, and the sequence tiebreak makes
+// same-time same-priority events FIFO. Exactly one execution context (the
+// engine loop or one cooperative process) is active at any instant, so the
+// queue needs no locking; the process hand-off (process.h) provides the
+// happens-before edges between contexts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "des/time.h"
+
+namespace des {
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Opaque handle for cancellation. Default-constructed ids are invalid.
+  struct EventId {
+    std::uint64_t seq = 0;
+    [[nodiscard]] bool valid() const noexcept { return seq != 0; }
+  };
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (>= now). Lower `priority` runs
+  /// first among same-time events.
+  EventId schedule_at(SimTime t, Callback fn, int priority = 0);
+
+  /// Schedules `fn` at now + dt.
+  EventId schedule_in(SimTime dt, Callback fn, int priority = 0);
+
+  /// Cancels a pending event. Returns false if it already ran or was
+  /// already cancelled.
+  bool cancel(EventId id);
+
+  /// Runs until the queue is empty.
+  void run();
+
+  /// Runs events with time <= t, then sets now to t.
+  void run_until(SimTime t);
+
+  /// Executes the next event, if any. Returns false when the queue is empty.
+  bool step();
+
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return live_.size() - cancelled_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return pending() == 0; }
+  [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
+
+ private:
+  struct Event {
+    SimTime time = 0;
+    int priority = 0;
+    std::uint64_t seq = 0;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops the queue head, maintaining live_/cancelled_. Returns false and
+  /// leaves `out` untouched if the head was cancelled (caller retries).
+  bool pop_head(Event& out);
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<std::uint64_t> live_;       ///< scheduled, not yet popped
+  std::unordered_set<std::uint64_t> cancelled_;  ///< subset of live_
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace des

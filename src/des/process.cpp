@@ -1,0 +1,120 @@
+#include "des/process.h"
+
+#include <utility>
+
+namespace des {
+
+Process::Process(Engine& engine, std::string name, std::function<void()> body,
+                 SimTime start_at)
+    : engine_{engine}, name_{std::move(name)}, body_{std::move(body)} {
+  thread_ = std::thread([this] { thread_main(); });
+  engine_.schedule_at(start_at, [this] {
+    if (!finished_) resume();
+  });
+}
+
+Process::~Process() {
+  if (!finished_) kill();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Process::thread_main() {
+  {
+    std::unique_lock lock{mutex_};
+    cv_.wait(lock, [this] { return turn_ == Turn::kProcess; });
+  }
+  started_ = true;
+  if (!killed_) {
+    try {
+      body_();
+    } catch (const Killed&) {
+      // Normal forced-unwind path.
+    } catch (...) {
+      failure_ = std::current_exception();
+    }
+  }
+  std::unique_lock lock{mutex_};
+  finished_ = true;
+  turn_ = Turn::kEngine;
+  cv_.notify_all();
+}
+
+void Process::resume() {
+  std::unique_lock lock{mutex_};
+  turn_ = Turn::kProcess;
+  cv_.notify_all();
+  cv_.wait(lock, [this] { return turn_ == Turn::kEngine; });
+}
+
+void Process::yield() {
+  std::unique_lock lock{mutex_};
+  turn_ = Turn::kEngine;
+  cv_.notify_all();
+  cv_.wait(lock, [this] { return turn_ == Turn::kProcess; });
+  if (killed_) throw Killed{};
+}
+
+void Process::sleep_once() {
+  blocked_ = true;
+  yield();
+  blocked_ = false;
+  ++sleep_gen_;
+}
+
+void Process::schedule_wake(std::uint64_t gen) {
+  engine_.schedule_at(engine_.now(), [this, gen] {
+    if (blocked_ && sleep_gen_ == gen && !finished_) resume();
+  });
+}
+
+void Process::delay(SimTime dt) {
+  const SimTime until = engine_.now() + dt;
+  while (engine_.now() < until) {
+    const Engine::EventId id = engine_.schedule_at(
+        until, [this, gen = sleep_gen_] {
+          if (blocked_ && sleep_gen_ == gen && !finished_) resume();
+        });
+    sleep_once();
+    engine_.cancel(id);
+  }
+}
+
+void Process::park() {
+  while (!permit_) sleep_once();
+  permit_ = false;
+}
+
+bool Process::park_until(SimTime deadline) {
+  while (!permit_ && engine_.now() < deadline) {
+    const Engine::EventId id = engine_.schedule_at(
+        deadline, [this, gen = sleep_gen_] {
+          if (blocked_ && sleep_gen_ == gen && !finished_) resume();
+        });
+    sleep_once();
+    engine_.cancel(id);
+  }
+  if (permit_) {
+    permit_ = false;
+    return true;
+  }
+  return false;
+}
+
+void Process::unpark() {
+  permit_ = true;
+  if (blocked_) schedule_wake(sleep_gen_);
+}
+
+void Process::kill() {
+  if (finished_) return;
+  killed_ = true;
+  // Hand control to the thread so it can unwind. If the body never ran,
+  // thread_main notices killed_ and exits immediately after the hand-off.
+  resume();
+}
+
+void Process::rethrow_if_failed() {
+  if (failure_) std::rethrow_exception(failure_);
+}
+
+}  // namespace des

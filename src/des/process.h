@@ -1,0 +1,108 @@
+// Cooperative processes over the discrete-event engine.
+//
+// Each Process runs its body on a dedicated OS thread, but exactly one
+// context (the engine loop or one process) executes at a time: control is
+// handed back and forth through a mutex/condition-variable pair, which also
+// provides the happens-before edges that make the shared engine queue safe
+// to touch from whichever context is active. This lets simulated MPI ranks
+// be written as ordinary blocking code while virtual time stays fully
+// deterministic (all wake-ups are engine events ordered by time/seq).
+//
+// Blocking primitives and their guarantees:
+//   delay(dt)            advance this process's virtual clock by dt
+//   park()               block until some context calls unpark()
+//   park_until(t)        like park() but gives up at absolute time t
+// unpark() carries a single permit (like thread park/unpark), so an unpark
+// that races ahead of the park is never lost. Spurious wake-ups are
+// impossible to observe: every primitive re-checks its condition.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "des/engine.h"
+
+namespace des {
+
+class Process {
+ public:
+  /// Thrown inside the body when the process is killed; the body wrapper
+  /// catches it. User code should not catch it (or must rethrow).
+  struct Killed {};
+
+  /// Creates the process and schedules its first activation at `start_at`.
+  Process(Engine& engine, std::string name, std::function<void()> body,
+          SimTime start_at = 0);
+  ~Process();
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+  [[nodiscard]] Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] SimTime now() const noexcept { return engine_.now(); }
+
+  // ---- Callable only from inside the process body ----
+
+  /// Advances this process's virtual time by `dt`. Permits posted by
+  /// unpark() during the delay are retained.
+  void delay(SimTime dt);
+
+  /// Blocks until a permit is available, then consumes it.
+  void park();
+
+  /// Blocks until a permit is available or the absolute deadline passes.
+  /// Returns true if a permit was consumed.
+  bool park_until(SimTime deadline);
+
+  // ---- Callable from any active context ----
+
+  /// Posts a permit and wakes the process if it is parked.
+  void unpark();
+
+  /// Forces the process to unwind (its next/pending blocking call throws
+  /// Killed). Used for tearing down deadlocked simulations.
+  void kill();
+
+  /// Rethrows any exception that escaped the body.
+  void rethrow_if_failed();
+
+ private:
+  void thread_main();
+  /// Engine context -> process context; returns when the process yields.
+  void resume();
+  /// Process context -> engine context; throws Killed when killed.
+  void yield();
+  /// One sleep episode: yields until a wake event for the current
+  /// generation fires. Callers loop on their condition.
+  void sleep_once();
+  /// Schedules an immediate engine event waking generation `gen`.
+  void schedule_wake(std::uint64_t gen);
+
+  Engine& engine_;
+  std::string name_;
+  std::function<void()> body_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  enum class Turn { kEngine, kProcess };
+  Turn turn_ = Turn::kEngine;
+
+  bool started_ = false;
+  bool finished_ = false;
+  bool killed_ = false;
+  bool blocked_ = false;        ///< inside sleep_once()
+  bool permit_ = false;         ///< unpark token
+  std::uint64_t sleep_gen_ = 1; ///< invalidates stale wake events
+  std::exception_ptr failure_;
+
+  std::thread thread_;
+};
+
+}  // namespace des

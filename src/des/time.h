@@ -1,0 +1,36 @@
+// Virtual time for the discrete-event simulation.
+//
+// Integer nanoseconds everywhere: additions are exact, event ordering is
+// total, and runs are bit-reproducible. Floating-point seconds appear only
+// at the cost-model boundary, through the converters below.
+#pragma once
+
+#include <cstdint>
+
+namespace des {
+
+using SimTime = std::int64_t;  ///< nanoseconds since simulation start
+
+inline constexpr SimTime kNever = INT64_MAX;
+
+[[nodiscard]] constexpr SimTime from_seconds(double s) noexcept {
+  return static_cast<SimTime>(s * 1e9 + 0.5);
+}
+
+[[nodiscard]] constexpr SimTime from_micros(double us) noexcept {
+  return static_cast<SimTime>(us * 1e3 + 0.5);
+}
+
+[[nodiscard]] constexpr double to_seconds(SimTime t) noexcept {
+  return static_cast<double>(t) * 1e-9;
+}
+
+[[nodiscard]] constexpr double to_micros(SimTime t) noexcept {
+  return static_cast<double>(t) * 1e-3;
+}
+
+[[nodiscard]] constexpr double to_millis(SimTime t) noexcept {
+  return static_cast<double>(t) * 1e-6;
+}
+
+}  // namespace des

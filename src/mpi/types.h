@@ -1,0 +1,59 @@
+// Public types of the simulated MPI ("smpi") API.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/units.h"
+
+namespace smpi {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Completion information for a receive, mirroring MPI_Status.
+struct Status {
+  int source = kAnySource;
+  int tag = kAnyTag;
+  net::Bytes bytes = 0;
+};
+
+/// Raised for misuse of the API (bad ranks, truncation, ...).
+class MpiError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Raised by Runtime::run when the program cannot make progress.
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(std::string what, std::vector<int> blocked)
+      : std::runtime_error(std::move(what)), blocked_ranks(std::move(blocked)) {}
+  std::vector<int> blocked_ranks;
+};
+
+namespace detail {
+struct RequestState;
+}  // namespace detail
+
+/// A nonblocking-operation handle (value semantics; copies share state,
+/// like MPI_Request handles passed around by value).
+class Request {
+ public:
+  Request() = default;
+  explicit Request(std::shared_ptr<detail::RequestState> state)
+      : state_{std::move(state)} {}
+
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+  [[nodiscard]] detail::RequestState* state() const noexcept {
+    return state_.get();
+  }
+
+ private:
+  std::shared_ptr<detail::RequestState> state_;
+};
+
+}  // namespace smpi

@@ -1,0 +1,94 @@
+// MPIBench: benchmarking MPI communication with per-operation timing.
+//
+// Unlike ping-pong averaging benchmarks, every individual operation is
+// timed at every process against the software-synchronised global clock
+// (clocksync.h), and results are published as histograms / probability
+// distributions. The point-to-point pattern is the paper's: with P
+// processes, process i < P/2 exchanges messages with partner i + P/2, all
+// pairs concurrently, so NIC and backplane contention is exercised exactly
+// as it would be by a communication-dense application.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mpibench/table.h"
+#include "net/cluster.h"
+#include "stats/histogram.h"
+#include "stats/summary.h"
+
+namespace mpibench {
+
+struct Options {
+  net::ClusterParams cluster{};  ///< includes the node count
+  int procs_per_node = 1;
+  int repetitions = 300;         ///< measured repetitions per process pair
+  int warmup = 32;               ///< unmeasured repetitions first
+  std::uint64_t seed = 1;
+  double bin_width_us = 10.0;    ///< histogram bin width (the accuracy knob)
+  int sync_rounds = 32;          ///< clock-sync ping-pongs per rank
+  int resync_interval = 64;      ///< barrier every this many repetitions
+
+  [[nodiscard]] int nprocs() const noexcept {
+    return cluster.nodes * procs_per_node;
+  }
+};
+
+/// Result of one point-to-point benchmark configuration (one message size,
+/// one n x p machine configuration).
+struct PointToPointResult {
+  net::Bytes size = 0;
+  int nodes = 0;
+  int procs_per_node = 0;
+
+  /// One-way delivery times in seconds (send start at the source to receive
+  /// completion at the destination), pooled over all pairs and directions.
+  stats::Histogram oneway{1e-5};
+  /// Local MPI_Isend + MPI_Wait duration at the senders.
+  stats::Summary sender_op;
+  stats::Histogram sender_hist{1e-6};
+  std::uint64_t messages = 0;
+
+  // TCP-lite health counters for the run (saturation forensics, Fig. 4).
+  std::uint64_t tcp_timeouts = 0;
+  std::uint64_t tcp_fast_retransmits = 0;
+  std::uint64_t link_drops = 0;
+
+  [[nodiscard]] stats::EmpiricalDistribution distribution() const {
+    return stats::EmpiricalDistribution{oneway};
+  }
+};
+
+/// Runs the MPI_Isend pair pattern for one message size. The total process
+/// count (nodes x ppn) must be even and >= 2.
+[[nodiscard]] PointToPointResult run_isend(const Options& options,
+                                           net::Bytes size);
+
+/// Completion-time benchmark of a collective operation, timed per process.
+struct CollectiveResult {
+  net::Bytes size = 0;
+  int nodes = 0;
+  int procs_per_node = 0;
+  stats::Histogram completion{1e-5};  ///< per-process completion times (s)
+  std::uint64_t operations = 0;
+};
+
+[[nodiscard]] CollectiveResult run_barrier(const Options& options);
+[[nodiscard]] CollectiveResult run_bcast(const Options& options,
+                                         net::Bytes size);
+[[nodiscard]] CollectiveResult run_alltoall(const Options& options,
+                                            net::Bytes block_size);
+
+/// Measures the Isend one-way distribution across `sizes` for every machine
+/// configuration in `configs` (pairs of nodes x ppn) and assembles the
+/// PEVPM distribution table, with contention level = total process count.
+struct Config {
+  int nodes = 2;
+  int procs_per_node = 1;
+};
+[[nodiscard]] DistributionTable measure_isend_table(
+    Options options, std::span<const net::Bytes> sizes,
+    std::span<const Config> configs);
+
+}  // namespace mpibench

@@ -1,0 +1,76 @@
+#include "mpibench/clocksync.h"
+
+#include <limits>
+
+namespace mpibench {
+namespace {
+// High user-range tags, unlikely to collide with application traffic.
+constexpr int kTagPing = (1 << 20) - 2;
+constexpr int kTagPong = (1 << 20) - 3;
+}  // namespace
+
+std::pair<double, double> SyncedClock::estimate_offset(smpi::Comm& comm,
+                                                       int rounds) {
+  const int p = comm.size();
+  const int r = comm.rank();
+  if (r == 0) {
+    // Serve every other rank: echo our local clock back per ping.
+    for (int peer = 1; peer < p; ++peer) {
+      for (int round = 0; round < rounds; ++round) {
+        (void)comm.recv_value<double>(peer, kTagPing);
+        comm.send_value(comm.wtime(), peer, kTagPong);
+      }
+    }
+    return {comm.wtime(), 0.0};
+  }
+  double best_rtt = std::numeric_limits<double>::infinity();
+  double best_offset = 0.0;
+  double best_mid = 0.0;
+  for (int round = 0; round < rounds; ++round) {
+    const double t0 = comm.wtime();
+    comm.send_value(t0, 0, kTagPing);
+    const double t_ref = comm.recv_value<double>(0, kTagPong);
+    const double t1 = comm.wtime();
+    const double rtt = t1 - t0;
+    if (rtt < best_rtt) {
+      best_rtt = rtt;
+      // The reference read its clock halfway through the minimum round
+      // trip, so local midpoint minus the echoed value estimates offset.
+      best_mid = t0 + rtt / 2.0;
+      best_offset = best_mid - t_ref;
+    }
+  }
+  return {best_mid, best_offset};
+}
+
+SyncedClock SyncedClock::synchronise(smpi::Comm& comm, int rounds) {
+  SyncedClock clock;
+  const auto [mid, offset] = estimate_offset(comm, rounds);
+  clock.anchor_ = mid;
+  clock.offset_ = offset;
+  clock.drift_ = 0.0;
+  comm.barrier();
+  return clock;
+}
+
+SyncedClock SyncedClock::synchronise_with_drift(smpi::Comm& comm, int rounds,
+                                                double gap_seconds) {
+  SyncedClock clock;
+  const auto [mid0, off0] = estimate_offset(comm, rounds);
+  comm.barrier();
+  comm.compute(gap_seconds);
+  comm.barrier();
+  const auto [mid1, off1] = estimate_offset(comm, rounds);
+  clock.anchor_ = mid0;
+  clock.offset_ = off0;
+  clock.drift_ = mid1 > mid0 ? (off1 - off0) / (mid1 - mid0) : 0.0;
+  comm.barrier();
+  return clock;
+}
+
+double SyncedClock::now(const smpi::Comm& comm) const {
+  const double local = comm.wtime();
+  return local - offset_ - drift_ * (local - anchor_);
+}
+
+}  // namespace mpibench

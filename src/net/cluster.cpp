@@ -1,0 +1,116 @@
+#include "net/cluster.h"
+
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+
+namespace net {
+
+ClusterParams perseus(int nodes) {
+  if (nodes < 1 || nodes > 116) {
+    throw std::invalid_argument{"perseus: node count must be in [1, 116]"};
+  }
+  ClusterParams params;  // defaults in calibration.h are the Perseus fit
+  params.nodes = nodes;
+  params.ports_per_switch = 24;
+  return params;
+}
+
+std::string describe(const ClusterParams& params) {
+  std::ostringstream os;
+  os << "cluster: " << params.nodes << " nodes over " << params.switch_count()
+     << " switch(es), " << params.ports_per_switch << " ports each\n";
+  os << "  nic:    " << params.nic.rate.bps() / 1e6 << " Mbit/s, "
+     << des::to_micros(params.nic.latency) << " us latency, "
+     << params.nic.buffer << " B buffer\n";
+  os << "  switch: " << des::to_micros(params.switch_latency)
+     << " us forwarding latency\n";
+  os << "  trunk:  " << params.trunk.rate.bps() / 1e9 << " Gbit/s, "
+     << des::to_micros(params.trunk.latency) << " us latency, "
+     << params.trunk.buffer << " B buffer\n";
+  os << "  host:   send " << des::to_micros(params.host.send_overhead)
+     << " us, recv " << des::to_micros(params.host.recv_overhead)
+     << " us, copy " << params.host.copy_ns_per_byte << " ns/B\n";
+  os << "  tcp:    rto " << des::to_millis(params.tcp.rto_initial)
+     << " ms, window " << params.tcp.recv_window << " B\n";
+  os << "  mpi:    eager threshold " << params.mpi.eager_threshold << " B\n";
+  return os.str();
+}
+
+ClusterParams parse_cluster(std::istream& is, ClusterParams base) {
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const auto eq = line.find('=');
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    if (eq == std::string::npos) {
+      throw std::runtime_error{"parse_cluster: line " + std::to_string(lineno) +
+                               ": expected key = value"};
+    }
+    auto trim = [](std::string s) {
+      const auto b = s.find_first_not_of(" \t\r");
+      const auto e = s.find_last_not_of(" \t\r");
+      return b == std::string::npos ? std::string{} : s.substr(b, e - b + 1);
+    };
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value_str = trim(line.substr(eq + 1));
+    double value = 0.0;
+    try {
+      value = std::stod(value_str);
+    } catch (const std::exception&) {
+      throw std::runtime_error{"parse_cluster: line " + std::to_string(lineno) +
+                               ": bad number '" + value_str + "'"};
+    }
+    if (key == "nodes") {
+      base.nodes = static_cast<int>(value);
+    } else if (key == "ports_per_switch") {
+      base.ports_per_switch = static_cast<int>(value);
+    } else if (key == "nic_mbit") {
+      base.nic.rate = Rate::mbit(value);
+    } else if (key == "nic_latency_us") {
+      base.nic.latency = des::from_micros(value);
+    } else if (key == "nic_buffer_frames") {
+      base.nic.buffer = static_cast<Bytes>(value) * 1538;
+    } else if (key == "trunk_gbit") {
+      base.trunk.rate = Rate::gbit(value);
+    } else if (key == "trunk_latency_us") {
+      base.trunk.latency = des::from_micros(value);
+    } else if (key == "trunk_buffer_kib") {
+      base.trunk.buffer = static_cast<Bytes>(value) * 1024;
+    } else if (key == "switch_latency_us") {
+      base.switch_latency = des::from_micros(value);
+    } else if (key == "eager_threshold_kib") {
+      base.mpi.eager_threshold = static_cast<Bytes>(value) * 1024;
+    } else if (key == "send_overhead_us") {
+      base.host.send_overhead = des::from_micros(value);
+    } else if (key == "recv_overhead_us") {
+      base.host.recv_overhead = des::from_micros(value);
+    } else if (key == "copy_ns_per_byte") {
+      base.host.copy_ns_per_byte = value;
+    } else if (key == "jitter_sigma") {
+      base.host.jitter_sigma = value;
+    } else if (key == "spike_prob") {
+      base.host.spike_prob = value;
+    } else if (key == "spike_mean_us") {
+      base.host.spike_mean = des::from_micros(value);
+    } else if (key == "rto_ms") {
+      base.tcp.rto_initial = des::from_micros(value * 1e3);
+      base.tcp.rto_min = base.tcp.rto_initial;
+    } else if (key == "recv_window_kib") {
+      base.tcp.recv_window = static_cast<Bytes>(value) * 1024;
+    } else {
+      throw std::runtime_error{"parse_cluster: line " + std::to_string(lineno) +
+                               ": unknown key '" + key + "'"};
+    }
+  }
+  if (base.nodes < 1) throw std::runtime_error{"parse_cluster: nodes < 1"};
+  if (base.ports_per_switch < 1) {
+    throw std::runtime_error{"parse_cluster: ports_per_switch < 1"};
+  }
+  return base;
+}
+
+}  // namespace net

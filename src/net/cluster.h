@@ -1,0 +1,31 @@
+// Cluster presets and a small text format for describing machines.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "net/calibration.h"
+
+namespace net {
+
+/// The machine from the paper: Perseus at the University of Adelaide.
+/// 116 dual-PIII nodes on switched 100 Mbit/s Fast Ethernet, five 24-port
+/// Intel 510T switches joined by 2.1 Gbit/s stacking matrix cards, MPICH
+/// 1.2 over TCP. `nodes` selects how many nodes to instantiate (<= 116).
+[[nodiscard]] ClusterParams perseus(int nodes);
+
+/// Human-readable multi-line description of a configuration.
+[[nodiscard]] std::string describe(const ClusterParams& params);
+
+/// Parses "key = value" lines ('#' comments allowed) over a base
+/// configuration. Recognised keys:
+///   nodes, ports_per_switch, nic_mbit, nic_latency_us, nic_buffer_frames,
+///   trunk_gbit, trunk_latency_us, trunk_buffer_kib, switch_latency_us,
+///   eager_threshold_kib, send_overhead_us, recv_overhead_us,
+///   copy_ns_per_byte, jitter_sigma, spike_prob, spike_mean_us,
+///   rto_ms, recv_window_kib
+/// Throws std::runtime_error on malformed input or unknown keys.
+[[nodiscard]] ClusterParams parse_cluster(std::istream& is,
+                                          ClusterParams base = {});
+
+}  // namespace net

@@ -1,0 +1,42 @@
+#include "net/link.h"
+
+#include <algorithm>
+
+namespace net {
+
+void Link::submit(const Packet& packet, DeliverFn deliver, DropFn drop) {
+  if (backlog_ + packet.wire_bytes > params_.buffer) {
+    ++dropped_;
+    if (drop) drop(packet);
+    return;
+  }
+  backlog_ += packet.wire_bytes;
+  peak_backlog_ = std::max(peak_backlog_, backlog_);
+
+  const des::SimTime start = std::max(engine_.now(), busy_until_);
+  const des::SimTime tx =
+      params_.per_packet + params_.rate.time_to_send(packet.wire_bytes);
+  busy_until_ = start + tx;
+  busy_time_ += tx;
+  ++sent_;
+  bytes_sent_ += packet.wire_bytes;
+
+  // The packet leaves the queue when fully serialised, and arrives at the
+  // far end one propagation latency later.
+  engine_.schedule_at(busy_until_,
+                      [this, bytes = packet.wire_bytes] { backlog_ -= bytes; });
+  engine_.schedule_at(busy_until_ + params_.latency,
+                      [packet, deliver = std::move(deliver)] {
+                        if (deliver) deliver(packet);
+                      });
+}
+
+void Link::reset_stats() noexcept {
+  sent_ = 0;
+  dropped_ = 0;
+  bytes_sent_ = 0;
+  peak_backlog_ = backlog_;
+  busy_time_ = 0;
+}
+
+}  // namespace net

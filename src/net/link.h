@@ -1,0 +1,68 @@
+// A unidirectional link: FIFO server with finite output queue.
+//
+// This single abstraction models NIC transmit/receive paths and the
+// inter-switch stacking trunks. Contention, queueing delay and loss emerge
+// here: packets serialise at the link rate, wait behind earlier packets,
+// and are dropped when the queued wire bytes would exceed the buffer —
+// exactly the resources that produced the paper's contention effects on
+// Perseus.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "des/engine.h"
+#include "net/calibration.h"
+#include "net/packet.h"
+
+namespace net {
+
+class Link {
+ public:
+  using DeliverFn = std::function<void(const Packet&)>;
+  using DropFn = std::function<void(const Packet&)>;
+
+  Link(des::Engine& engine, std::string name, LinkParams params)
+      : engine_{engine}, name_{std::move(name)}, params_{params} {}
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Submits a packet. If the queue has room it will be delivered after
+  /// queueing + serialisation + propagation via `deliver`; otherwise `drop`
+  /// is invoked immediately (tail drop).
+  void submit(const Packet& packet, DeliverFn deliver, DropFn drop);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const LinkParams& params() const noexcept { return params_; }
+
+  /// Wire bytes currently queued or being serialised.
+  [[nodiscard]] Bytes backlog() const noexcept { return backlog_; }
+
+  // Lifetime statistics.
+  [[nodiscard]] std::uint64_t packets_sent() const noexcept { return sent_; }
+  [[nodiscard]] std::uint64_t packets_dropped() const noexcept { return dropped_; }
+  [[nodiscard]] Bytes bytes_sent() const noexcept { return bytes_sent_; }
+  [[nodiscard]] Bytes peak_backlog() const noexcept { return peak_backlog_; }
+  /// Total time the transmitter was serialising, for utilisation reports.
+  [[nodiscard]] des::SimTime busy_time() const noexcept { return busy_time_; }
+
+  void reset_stats() noexcept;
+
+ private:
+  des::Engine& engine_;
+  std::string name_;
+  LinkParams params_;
+
+  des::SimTime busy_until_ = 0;
+  Bytes backlog_ = 0;
+  Bytes peak_backlog_ = 0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t dropped_ = 0;
+  Bytes bytes_sent_ = 0;
+  des::SimTime busy_time_ = 0;
+};
+
+}  // namespace net

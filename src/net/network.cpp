@@ -1,0 +1,122 @@
+#include "net/network.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace net {
+
+Network::Network(des::Engine& engine, ClusterParams params)
+    : engine_{engine}, params_{params} {
+  nic_tx_.reserve(params_.nodes);
+  nic_rx_.reserve(params_.nodes);
+  for (int n = 0; n < params_.nodes; ++n) {
+    nic_tx_.push_back(std::make_unique<Link>(
+        engine_, "nic_tx." + std::to_string(n), params_.nic));
+    nic_rx_.push_back(std::make_unique<Link>(
+        engine_, "nic_rx." + std::to_string(n), params_.nic));
+  }
+  const int switches = params_.switch_count();
+  for (int s = 0; s < switches; ++s) {
+    fabric_.push_back(std::make_unique<Link>(
+        engine_, "fabric." + std::to_string(s), params_.fabric));
+  }
+  for (int s = 0; s + 1 < switches; ++s) {
+    trunk_.push_back(std::make_unique<Link>(
+        engine_, "trunk." + std::to_string(s), params_.trunk));
+  }
+}
+
+Link& Network::trunk(int lower_switch) { return *trunk_.at(lower_switch); }
+
+std::vector<Link*> Network::route(int src_node, int dst_node) const {
+  if (src_node < 0 || src_node >= params_.nodes || dst_node < 0 ||
+      dst_node >= params_.nodes) {
+    throw std::out_of_range{"Network::route: node out of range"};
+  }
+  if (src_node == dst_node) {
+    throw std::invalid_argument{
+        "Network::route: intra-node traffic does not use the network"};
+  }
+  std::vector<Link*> path;
+  path.push_back(nic_tx_[src_node].get());
+  const int s_src = params_.switch_of(src_node);
+  const int s_dst = params_.switch_of(dst_node);
+  // The forwarding fabric is charged once, where the frame enters the stack
+  // from a node port; transit through further matrix cards is covered by
+  // the trunk links themselves.
+  path.push_back(fabric_[s_src].get());
+  for (int s = s_src; s < s_dst; ++s) path.push_back(trunk_[s].get());
+  for (int s = s_src; s > s_dst; --s) path.push_back(trunk_[s - 1].get());
+  path.push_back(nic_rx_[dst_node].get());
+  return path;
+}
+
+int Network::hop_count(int src_node, int dst_node) const {
+  return static_cast<int>(route(src_node, dst_node).size());
+}
+
+void Network::send(const Packet& packet, DeliverFn deliver, DropFn drop) {
+  auto path =
+      std::make_shared<const std::vector<Link*>>(route(packet.src_node,
+                                                       packet.dst_node));
+  forward(packet, std::move(path), 0, std::move(deliver), std::move(drop));
+}
+
+void Network::forward(const Packet& packet,
+                      std::shared_ptr<const std::vector<Link*>> path,
+                      std::size_t hop, DeliverFn deliver, DropFn drop) {
+  Link* link = (*path)[hop];
+  const bool last = hop + 1 == path->size();
+  if (last) {
+    link->submit(packet, std::move(deliver), std::move(drop));
+    return;
+  }
+  link->submit(
+      packet,
+      [this, path = std::move(path), hop, deliver = std::move(deliver),
+       drop](const Packet& arrived) mutable {
+        // Store-and-forward: the switch inspects the frame before queueing
+        // it on the egress port.
+        engine_.schedule_in(params_.switch_latency,
+                            [this, arrived, path = std::move(path), hop,
+                             deliver = std::move(deliver),
+                             drop = std::move(drop)]() mutable {
+                              forward(arrived, std::move(path), hop + 1,
+                                      std::move(deliver), std::move(drop));
+                            });
+      },
+      drop);
+}
+
+std::uint64_t Network::total_drops() const noexcept {
+  std::uint64_t drops = 0;
+  for (const auto& link : nic_tx_) drops += link->packets_dropped();
+  for (const auto& link : nic_rx_) drops += link->packets_dropped();
+  for (const auto& link : fabric_) drops += link->packets_dropped();
+  for (const auto& link : trunk_) drops += link->packets_dropped();
+  return drops;
+}
+
+std::string Network::stats_csv() const {
+  std::ostringstream os;
+  os << "link,packets,bytes,drops,peak_backlog,busy_us\n";
+  const auto row = [&os](const Link& link) {
+    os << link.name() << ',' << link.packets_sent() << ',' << link.bytes_sent()
+       << ',' << link.packets_dropped() << ',' << link.peak_backlog() << ','
+       << des::to_micros(link.busy_time()) << '\n';
+  };
+  for (const auto& link : nic_tx_) row(*link);
+  for (const auto& link : nic_rx_) row(*link);
+  for (const auto& link : fabric_) row(*link);
+  for (const auto& link : trunk_) row(*link);
+  return os.str();
+}
+
+void Network::reset_stats() noexcept {
+  for (const auto& link : nic_tx_) link->reset_stats();
+  for (const auto& link : nic_rx_) link->reset_stats();
+  for (const auto& link : fabric_) link->reset_stats();
+  for (const auto& link : trunk_) link->reset_stats();
+}
+
+}  // namespace net

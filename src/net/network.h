@@ -1,0 +1,73 @@
+// The cluster network: per-node NIC links, a chain of switches joined by
+// stacking trunks, and hop-by-hop packet forwarding with store-and-forward
+// switch latency — the Perseus topology from the paper.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "des/engine.h"
+#include "net/calibration.h"
+#include "net/link.h"
+#include "net/packet.h"
+
+namespace net {
+
+class Network {
+ public:
+  using DeliverFn = std::function<void(const Packet&)>;
+  using DropFn = std::function<void(const Packet&)>;
+
+  Network(des::Engine& engine, ClusterParams params);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  [[nodiscard]] const ClusterParams& params() const noexcept { return params_; }
+  [[nodiscard]] int nodes() const noexcept { return params_.nodes; }
+
+  /// Sends a packet from packet.src_node to packet.dst_node. `deliver`
+  /// fires at arrival at the destination host; `drop` fires (at the drop
+  /// instant) if any hop's queue overflows. src == dst is not routed here
+  /// (intra-node traffic uses the SMP channel in the MPI layer).
+  void send(const Packet& packet, DeliverFn deliver, DropFn drop);
+
+  /// Number of links a src->dst packet traverses (NICs + trunks).
+  [[nodiscard]] int hop_count(int src_node, int dst_node) const;
+
+  // Link accessors for statistics and tests.
+  [[nodiscard]] Link& nic_tx(int node) { return *nic_tx_.at(node); }
+  [[nodiscard]] Link& nic_rx(int node) { return *nic_rx_.at(node); }
+  [[nodiscard]] Link& fabric(int switch_index) { return *fabric_.at(switch_index); }
+  /// Shared (half-duplex) stacking trunk between switch s and s+1.
+  [[nodiscard]] Link& trunk(int lower_switch);
+
+  [[nodiscard]] std::uint64_t total_drops() const noexcept;
+  [[nodiscard]] std::string stats_csv() const;
+  void reset_stats() noexcept;
+
+ private:
+  /// Forwards the packet along `path` starting at index `hop`.
+  void forward(const Packet& packet,
+               std::shared_ptr<const std::vector<Link*>> path, std::size_t hop,
+               DeliverFn deliver, DropFn drop);
+
+  [[nodiscard]] std::vector<Link*> route(int src_node, int dst_node) const;
+
+  des::Engine& engine_;
+  ClusterParams params_;
+  std::vector<std::unique_ptr<Link>> nic_tx_;
+  std::vector<std::unique_ptr<Link>> nic_rx_;
+  /// One shared forwarding fabric per switch; every frame entering the
+  /// switch crosses it once.
+  std::vector<std::unique_ptr<Link>> fabric_;
+  /// trunk_[s] joins switch s and s+1. The 510T stacking matrix behaves as
+  /// a shared bus: both directions contend for the same 2.1 Gbit/s, which
+  /// is what makes the paper's 24 x 84.25 Mbit/s = 2.02 Gbit/s offered load
+  /// saturate it.
+  std::vector<std::unique_ptr<Link>> trunk_;
+};
+
+}  // namespace net

@@ -1,0 +1,26 @@
+// The unit of transmission in the network model. No payload data is carried
+// — messages are byte *counts* — so a packet is a small value type.
+#pragma once
+
+#include <cstdint>
+
+#include "net/units.h"
+
+namespace net {
+
+enum class PacketKind : std::uint8_t { kData, kAck };
+
+struct Packet {
+  std::uint64_t id = 0;        ///< globally unique, for tracing
+  PacketKind kind = PacketKind::kData;
+  int src_node = 0;
+  int dst_node = 0;
+  Bytes wire_bytes = 0;        ///< full cost on the wire incl. all framing
+
+  // Transport fields (TCP-lite).
+  std::uint64_t conn = 0;      ///< connection id
+  std::uint64_t seq = 0;       ///< data: first stream byte;  ack: cumulative
+  Bytes payload = 0;           ///< data: stream bytes carried (0 for acks)
+};
+
+}  // namespace net

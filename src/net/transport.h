@@ -1,0 +1,109 @@
+// TCP-lite reliable byte-stream transport over the packet network.
+//
+// MPICH 1.2 on Perseus ran over kernel TCP; the paper attributes the
+// outliers in the Figure 3/4 distributions to TCP retransmission timeouts
+// after congestion loss. This module reproduces that mechanism with a
+// deliberately reduced TCP: per-(src,dst) byte streams, MSS segmentation,
+// cumulative ACKs, a receive window, slow start + AIMD congestion control,
+// fast retransmit on triple duplicate ACKs, and an RTO timer with
+// exponential backoff (200 ms floor, as in Linux 2.2). What is left out
+// (SACK, Nagle, delayed ACKs, fast-recovery inflation) does not change
+// where time goes at this fidelity.
+//
+// Messages are byte counts; delivery callbacks fire when the last stream
+// byte of a message arrives in order at the destination host.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "des/engine.h"
+#include "net/network.h"
+
+namespace net {
+
+class Transport {
+ public:
+  using DeliveredFn = std::function<void()>;
+
+  Transport(des::Engine& engine, Network& network);
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  /// Queues `bytes` (> 0) on stream `stream` from src to dst. A stream is
+  /// one TCP-lite connection; MPICH 1.2 (ch_p4) opened one socket per
+  /// process pair, so the MPI layer passes a per-rank-pair stream id. All
+  /// streams between two nodes still contend for the same NIC and trunk
+  /// links. `on_delivered` runs, in engine context, when the final byte
+  /// arrives in order at `dst_node`. Messages on one stream are delivered
+  /// in submission order. A stream's (src, dst) binding must not change.
+  void send(std::uint64_t stream, int src_node, int dst_node, Bytes bytes,
+            DeliveredFn on_delivered);
+
+  // Lifetime statistics.
+  [[nodiscard]] std::uint64_t segments_sent() const noexcept { return segments_sent_; }
+  [[nodiscard]] std::uint64_t retransmits() const noexcept { return retransmits_; }
+  [[nodiscard]] std::uint64_t fast_retransmits() const noexcept {
+    return fast_retransmits_;
+  }
+  [[nodiscard]] std::uint64_t timeouts() const noexcept { return timeouts_; }
+  [[nodiscard]] std::uint64_t messages_delivered() const noexcept {
+    return messages_delivered_;
+  }
+  void reset_stats() noexcept;
+
+ private:
+  struct Connection {
+    std::uint64_t id = 0;
+    int src = 0;
+    int dst = 0;
+
+    // Sender state (byte sequence numbers).
+    std::uint64_t snd_una = 0;    ///< oldest unacknowledged byte
+    std::uint64_t snd_nxt = 0;    ///< next byte to transmit
+    std::uint64_t stream_end = 0; ///< total bytes submitted
+    double cwnd = 2.0;            ///< congestion window, segments
+    double ssthresh = 64.0;       ///< slow-start threshold, segments
+    int dupacks = 0;
+    bool in_recovery = false;
+    std::uint64_t recover_end = 0;
+    des::SimTime rto = 0;
+    des::Engine::EventId rto_timer{};
+    std::deque<std::pair<std::uint64_t, DeliveredFn>> pending;  ///< (end, cb)
+
+    // Receiver state.
+    std::uint64_t rcv_nxt = 0;
+    std::map<std::uint64_t, Bytes> out_of_order;  ///< start -> length
+  };
+
+  Connection& connection(std::uint64_t stream, int src, int dst);
+  void pump(Connection& conn);
+  void transmit_segment(Connection& conn, std::uint64_t seq, Bytes len);
+  void send_ack(Connection& conn);
+  void on_data(Connection& conn, const Packet& packet);
+  void on_ack(Connection& conn, const Packet& packet);
+  void on_rto(Connection& conn);
+  void arm_rto(Connection& conn);
+  void disarm_rto(Connection& conn);
+  [[nodiscard]] Bytes window_bytes(const Connection& conn) const noexcept;
+
+  des::Engine& engine_;
+  Network& network_;
+  const TcpParams tcp_;
+  const WireFormat wire_;
+
+  std::map<std::uint64_t, Connection> connections_;
+  std::uint64_t next_packet_id_ = 1;
+
+  std::uint64_t segments_sent_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t fast_retransmits_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t messages_delivered_ = 0;
+};
+
+}  // namespace net

@@ -1,0 +1,53 @@
+// Byte counts and transmission rates for the network model.
+#pragma once
+
+#include <cstdint>
+
+#include "des/time.h"
+
+namespace net {
+
+using Bytes = std::uint64_t;
+
+/// A transmission rate. Stored in bits per second; converts byte counts to
+/// serialisation times on the wire.
+class Rate {
+ public:
+  constexpr Rate() = default;
+  [[nodiscard]] static constexpr Rate bits_per_sec(double bps) noexcept {
+    return Rate{bps};
+  }
+  [[nodiscard]] static constexpr Rate mbit(double mbps) noexcept {
+    return Rate{mbps * 1e6};
+  }
+  [[nodiscard]] static constexpr Rate gbit(double gbps) noexcept {
+    return Rate{gbps * 1e9};
+  }
+  [[nodiscard]] static constexpr Rate mbyte(double mBps) noexcept {
+    return Rate{mBps * 8e6};
+  }
+
+  [[nodiscard]] constexpr double bps() const noexcept { return bps_; }
+  [[nodiscard]] constexpr double byte_per_sec() const noexcept {
+    return bps_ / 8.0;
+  }
+
+  /// Time to serialise `n` bytes onto the wire at this rate.
+  [[nodiscard]] constexpr des::SimTime time_to_send(Bytes n) const noexcept {
+    return static_cast<des::SimTime>(static_cast<double>(n) * 8.0 / bps_ * 1e9 +
+                                     0.5);
+  }
+
+ private:
+  constexpr explicit Rate(double bps) noexcept : bps_{bps} {}
+  double bps_ = 1.0;
+};
+
+inline constexpr Bytes operator""_KiB(unsigned long long v) noexcept {
+  return static_cast<Bytes>(v) * 1024;
+}
+inline constexpr Bytes operator""_MiB(unsigned long long v) noexcept {
+  return static_cast<Bytes>(v) * 1024 * 1024;
+}
+
+}  // namespace net

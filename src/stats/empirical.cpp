@@ -1,0 +1,190 @@
+#include "stats/empirical.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace stats {
+
+EmpiricalDistribution::EmpiricalDistribution(const Histogram& hist) {
+  for (const auto& bin : hist.bins()) {
+    if (bin.count == 0) continue;
+    cells_.push_back(Cell{.lo = bin.lo, .hi = bin.hi, .weight = bin.count});
+  }
+  finalize();
+  if (valid()) {
+    // The histogram keeps exact streaming statistics of the raw samples;
+    // prefer those over bin-resolution estimates for the min/avg models.
+    mean_ = hist.summary().mean();
+    stddev_ = hist.summary().stddev();
+    min_ = hist.summary().min();
+    max_ = hist.summary().max();
+  }
+}
+
+EmpiricalDistribution EmpiricalDistribution::from_samples(
+    std::span<const double> xs) {
+  EmpiricalDistribution d;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size();) {
+    std::size_t j = i;
+    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+    d.cells_.push_back(
+        Cell{.lo = sorted[i], .hi = sorted[i], .weight = j - i});
+    i = j;
+  }
+  d.finalize();
+  return d;
+}
+
+EmpiricalDistribution EmpiricalDistribution::constant(double value) {
+  EmpiricalDistribution d;
+  d.cells_.push_back(Cell{.lo = value, .hi = value, .weight = 1});
+  d.finalize();
+  return d;
+}
+
+void EmpiricalDistribution::finalize() {
+  total_ = 0;
+  for (auto& cell : cells_) {
+    total_ += cell.weight;
+    cell.cum = total_;
+  }
+  if (total_ == 0) return;
+  double sum = 0.0;
+  double sumsq = 0.0;
+  for (const auto& cell : cells_) {
+    const double mid = 0.5 * (cell.lo + cell.hi);
+    const double w = static_cast<double>(cell.weight);
+    sum += mid * w;
+    // For a uniform cell the second moment is mid^2 + width^2/12.
+    const double width = cell.hi - cell.lo;
+    sumsq += (mid * mid + width * width / 12.0) * w;
+  }
+  const double n = static_cast<double>(total_);
+  mean_ = sum / n;
+  stddev_ = std::sqrt(std::max(0.0, sumsq / n - mean_ * mean_));
+  min_ = cells_.front().lo;
+  max_ = cells_.back().hi;
+}
+
+double EmpiricalDistribution::sample(Rng& rng) const {
+  if (!valid()) throw std::logic_error{"sampling an empty distribution"};
+  const std::uint64_t pick = rng.below(total_);
+  // Find the first cell whose cumulative weight exceeds `pick`.
+  const auto it = std::upper_bound(
+      cells_.begin(), cells_.end(), pick,
+      [](std::uint64_t value, const Cell& cell) { return value < cell.cum; });
+  const Cell& cell = *it;
+  if (cell.lo == cell.hi) return cell.lo;
+  // Clamp to the exact observed extrema: bins quantise the support, but
+  // communication times have a hard physical minimum (the paper's bounded
+  // minimum) which sampling must respect.
+  return std::clamp(rng.uniform(cell.lo, cell.hi), min_, max_);
+}
+
+double EmpiricalDistribution::cdf(double x) const {
+  if (!valid()) throw std::logic_error{"cdf of an empty distribution"};
+  std::uint64_t below = 0;
+  for (const auto& cell : cells_) {
+    if (x >= cell.hi) {
+      below = cell.cum;
+    } else if (x > cell.lo) {
+      const double frac = (x - cell.lo) / (cell.hi - cell.lo);
+      return (static_cast<double>(below) +
+              frac * static_cast<double>(cell.weight)) /
+             static_cast<double>(total_);
+    } else {
+      break;
+    }
+  }
+  return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+double EmpiricalDistribution::quantile(double q) const {
+  if (!valid()) throw std::logic_error{"quantile of an empty distribution"};
+  q = std::clamp(q, 0.0, 1.0);
+  // See sample(): quantiles respect the exact observed extrema.
+  const double target = q * static_cast<double>(total_);
+  std::uint64_t prev_cum = 0;
+  for (const auto& cell : cells_) {
+    if (static_cast<double>(cell.cum) >= target) {
+      if (cell.lo == cell.hi) return cell.lo;
+      const double inside = target - static_cast<double>(prev_cum);
+      const double frac =
+          cell.weight > 0 ? inside / static_cast<double>(cell.weight) : 0.0;
+      return std::clamp(cell.lo + frac * (cell.hi - cell.lo), min_, max_);
+    }
+    prev_cum = cell.cum;
+  }
+  return max_;
+}
+
+EmpiricalDistribution EmpiricalDistribution::scaled(double k) const {
+  EmpiricalDistribution out = *this;
+  for (auto& cell : out.cells_) {
+    cell.lo *= k;
+    cell.hi *= k;
+    if (cell.lo > cell.hi) std::swap(cell.lo, cell.hi);
+  }
+  if (k < 0) std::reverse(out.cells_.begin(), out.cells_.end());
+  out.finalize();
+  return out;
+}
+
+EmpiricalDistribution EmpiricalDistribution::blended(
+    const EmpiricalDistribution& other, double w) const {
+  if (!valid()) return other;
+  if (!other.valid() || w <= 0.0) return *this;
+  if (w >= 1.0) return other;
+  // Re-weight both inputs over a common denominator so the mixture has the
+  // requested proportions regardless of original sample counts.
+  constexpr std::uint64_t kScale = 1u << 20;
+  const auto wa = static_cast<std::uint64_t>((1.0 - w) * kScale);
+  const auto wb = kScale - wa;
+  EmpiricalDistribution out;
+  for (const auto& cell : cells_) {
+    out.cells_.push_back(Cell{.lo = cell.lo,
+                              .hi = cell.hi,
+                              .weight = cell.weight * wa});
+  }
+  for (const auto& cell : other.cells_) {
+    out.cells_.push_back(Cell{.lo = cell.lo,
+                              .hi = cell.hi,
+                              .weight = cell.weight * wb});
+  }
+  std::sort(out.cells_.begin(), out.cells_.end(),
+            [](const Cell& a, const Cell& b) {
+              return a.lo < b.lo || (a.lo == b.lo && a.hi < b.hi);
+            });
+  out.finalize();
+  return out;
+}
+
+void EmpiricalDistribution::save(std::ostream& os) const {
+  os << cells_.size() << '\n';
+  for (const auto& cell : cells_) {
+    os << cell.lo << ' ' << cell.hi << ' ' << cell.weight << '\n';
+  }
+}
+
+EmpiricalDistribution EmpiricalDistribution::load(std::istream& is) {
+  std::size_t n = 0;
+  if (!(is >> n)) throw std::runtime_error{"EmpiricalDistribution::load: bad header"};
+  EmpiricalDistribution d;
+  d.cells_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Cell cell;
+    if (!(is >> cell.lo >> cell.hi >> cell.weight)) {
+      throw std::runtime_error{"EmpiricalDistribution::load: truncated data"};
+    }
+    d.cells_.push_back(cell);
+  }
+  d.finalize();
+  return d;
+}
+
+}  // namespace stats

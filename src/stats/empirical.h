@@ -1,0 +1,84 @@
+// Empirical distributions of communication times.
+//
+// This is the object PEVPM's Monte-Carlo sampler draws from: an inverse-CDF
+// sampler built from an MPIBench histogram (with uniform jitter inside each
+// bin, so bin width is the granularity/accuracy knob the paper discusses) or
+// from raw samples. It also exposes the single-point reductions — minimum
+// and average — that the paper shows produce misleading predictions.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "stats/histogram.h"
+#include "stats/rng.h"
+
+namespace stats {
+
+class EmpiricalDistribution {
+ public:
+  EmpiricalDistribution() = default;
+
+  /// Builds from a histogram. `exact_extrema` preserves the histogram's
+  /// exact observed min/avg/max for the single-point models even though
+  /// sampling resolution stays at bin granularity.
+  explicit EmpiricalDistribution(const Histogram& hist);
+
+  /// Builds an exact empirical distribution from raw samples (each sample
+  /// is an atom of equal weight).
+  static EmpiricalDistribution from_samples(std::span<const double> xs);
+
+  /// A degenerate distribution that always returns `value`.
+  static EmpiricalDistribution constant(double value);
+
+  [[nodiscard]] bool valid() const noexcept { return total_ > 0; }
+  [[nodiscard]] std::uint64_t sample_count() const noexcept { return total_; }
+
+  /// Draws one value: picks a bin by weight, then jitters uniformly inside
+  /// it. For atom (raw-sample) distributions the atom value is returned.
+  [[nodiscard]] double sample(Rng& rng) const;
+
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double stddev() const noexcept { return stddev_; }
+
+  /// P(X <= x), piecewise-linear inside bins.
+  [[nodiscard]] double cdf(double x) const;
+
+  /// Inverse CDF, piecewise-linear inside bins. q clamped to [0, 1].
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Scales the support by `k` (e.g. unit conversion); statistics follow.
+  [[nodiscard]] EmpiricalDistribution scaled(double k) const;
+
+  /// Mixture of this and `other` with weight `w` on `other` (0 <= w <= 1);
+  /// used to interpolate between adjacent contention levels / message sizes.
+  [[nodiscard]] EmpiricalDistribution blended(const EmpiricalDistribution& other,
+                                              double w) const;
+
+  /// Serialises as "lo hi weight" lines; round-trips with `load`.
+  void save(std::ostream& os) const;
+  static EmpiricalDistribution load(std::istream& is);
+
+ private:
+  struct Cell {
+    double lo = 0.0;
+    double hi = 0.0;              // lo == hi means an atom
+    std::uint64_t weight = 0;
+    std::uint64_t cum = 0;        // cumulative weight through this cell
+  };
+
+  void finalize();
+
+  std::vector<Cell> cells_;
+  std::uint64_t total_ = 0;
+  double mean_ = 0.0;
+  double stddev_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace stats

@@ -1,0 +1,237 @@
+#include "stats/fit.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace stats {
+namespace {
+
+constexpr double kSqrt2 = 1.4142135623730951;
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / kSqrt2); }
+
+double normal_pdf(double z) {
+  constexpr double kInvSqrt2Pi = 0.3989422804014327;
+  return kInvSqrt2Pi * std::exp(-0.5 * z * z);
+}
+
+/// Regularised lower incomplete gamma P(a, x) via series / continued
+/// fraction (Numerical Recipes style), adequate for fit diagnostics.
+double gamma_p(double a, double x) {
+  if (x < 0.0 || a <= 0.0) return 0.0;
+  if (x == 0.0) return 0.0;
+  const double gln = std::lgamma(a);
+  if (x < a + 1.0) {
+    // Series expansion.
+    double ap = a;
+    double sum = 1.0 / a;
+    double del = sum;
+    for (int i = 0; i < 500; ++i) {
+      ap += 1.0;
+      del *= x / ap;
+      sum += del;
+      if (std::fabs(del) < std::fabs(sum) * 1e-14) break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - gln);
+  }
+  // Continued fraction for Q(a, x).
+  double b = x + 1.0 - a;
+  double c = 1e300;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < 1e-300) d = 1e-300;
+    c = b + an / c;
+    if (std::fabs(c) < 1e-300) c = 1e-300;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < 1e-14) break;
+  }
+  return 1.0 - std::exp(-x + a * std::log(x) - gln) * h;
+}
+
+}  // namespace
+
+std::string to_string(FitFamily family) {
+  switch (family) {
+    case FitFamily::kNormal: return "normal";
+    case FitFamily::kShiftedLognormal: return "shifted-lognormal";
+    case FitFamily::kShiftedGamma: return "shifted-gamma";
+    case FitFamily::kShiftedExponential: return "shifted-exponential";
+  }
+  return "unknown";
+}
+
+double FittedDistribution::pdf(double x) const {
+  switch (family) {
+    case FitFamily::kNormal:
+      return p2 > 0 ? normal_pdf((x - p1) / p2) / p2 : 0.0;
+    case FitFamily::kShiftedLognormal: {
+      const double y = x - shift;
+      if (y <= 0.0 || p2 <= 0.0) return 0.0;
+      return normal_pdf((std::log(y) - p1) / p2) / (y * p2);
+    }
+    case FitFamily::kShiftedGamma: {
+      const double y = x - shift;
+      if (y <= 0.0 || p1 <= 0.0 || p2 <= 0.0) return 0.0;
+      return std::exp((p1 - 1.0) * std::log(y) - y / p2 -
+                      std::lgamma(p1) - p1 * std::log(p2));
+    }
+    case FitFamily::kShiftedExponential: {
+      const double y = x - shift;
+      if (y < 0.0 || p1 <= 0.0) return 0.0;
+      return std::exp(-y / p1) / p1;
+    }
+  }
+  return 0.0;
+}
+
+double FittedDistribution::cdf(double x) const {
+  switch (family) {
+    case FitFamily::kNormal:
+      return p2 > 0 ? normal_cdf((x - p1) / p2) : (x >= p1 ? 1.0 : 0.0);
+    case FitFamily::kShiftedLognormal: {
+      const double y = x - shift;
+      if (y <= 0.0) return 0.0;
+      return p2 > 0 ? normal_cdf((std::log(y) - p1) / p2) : 1.0;
+    }
+    case FitFamily::kShiftedGamma: {
+      const double y = x - shift;
+      if (y <= 0.0) return 0.0;
+      return gamma_p(p1, y / p2);
+    }
+    case FitFamily::kShiftedExponential: {
+      const double y = x - shift;
+      if (y < 0.0) return 0.0;
+      return 1.0 - std::exp(-y / p1);
+    }
+  }
+  return 0.0;
+}
+
+double FittedDistribution::mean() const {
+  switch (family) {
+    case FitFamily::kNormal: return p1;
+    case FitFamily::kShiftedLognormal:
+      return shift + std::exp(p1 + 0.5 * p2 * p2);
+    case FitFamily::kShiftedGamma: return shift + p1 * p2;
+    case FitFamily::kShiftedExponential: return shift + p1;
+  }
+  return 0.0;
+}
+
+double FittedDistribution::support_min() const {
+  if (family == FitFamily::kNormal) return p1 - 3.0 * p2;
+  return shift;
+}
+
+double FittedDistribution::sample(Rng& rng) const {
+  switch (family) {
+    case FitFamily::kNormal: return rng.normal(p1, p2);
+    case FitFamily::kShiftedLognormal:
+      return shift + rng.lognormal(p1, p2);
+    case FitFamily::kShiftedGamma: {
+      // Marsaglia-Tsang for shape >= 1; boost by U^(1/shape) otherwise.
+      double shape = p1;
+      double boost = 1.0;
+      if (shape < 1.0) {
+        boost = std::pow(std::max(rng.uniform(), 1e-300), 1.0 / shape);
+        shape += 1.0;
+      }
+      const double d = shape - 1.0 / 3.0;
+      const double c = 1.0 / std::sqrt(9.0 * d);
+      for (;;) {
+        double x = 0.0;
+        double v = 0.0;
+        do {
+          x = rng.normal();
+          v = 1.0 + c * x;
+        } while (v <= 0.0);
+        v = v * v * v;
+        const double u = rng.uniform();
+        if (u < 1.0 - 0.0331 * x * x * x * x ||
+            std::log(std::max(u, 1e-300)) <
+                0.5 * x * x + d * (1.0 - v + std::log(v))) {
+          return shift + boost * d * v * p2;
+        }
+      }
+    }
+    case FitFamily::kShiftedExponential:
+      return shift + rng.exponential(p1);
+  }
+  throw std::logic_error{"FittedDistribution::sample: unknown family"};
+}
+
+FittedDistribution fit(const EmpiricalDistribution& d, FitFamily family) {
+  if (!d.valid()) throw std::invalid_argument{"fit: empty distribution"};
+  const double mean = d.mean();
+  const double sd = std::max(d.stddev(), 1e-12);
+  FittedDistribution out;
+  out.family = family;
+  switch (family) {
+    case FitFamily::kNormal:
+      out.p1 = mean;
+      out.p2 = sd;
+      break;
+    case FitFamily::kShiftedLognormal: {
+      // Anchor the shift slightly below the observed minimum so every sample
+      // stays strictly inside the support, then match moments of X - shift.
+      out.shift = d.min() - 0.05 * (mean - d.min()) - 1e-12;
+      const double m = std::max(mean - out.shift, 1e-12);
+      const double cv2 = (sd * sd) / (m * m);
+      out.p2 = std::sqrt(std::log1p(cv2));
+      out.p1 = std::log(m) - 0.5 * out.p2 * out.p2;
+      break;
+    }
+    case FitFamily::kShiftedGamma: {
+      out.shift = d.min() - 0.05 * (mean - d.min()) - 1e-12;
+      const double m = std::max(mean - out.shift, 1e-12);
+      out.p1 = (m * m) / (sd * sd);              // shape
+      out.p2 = (sd * sd) / m;                    // scale
+      break;
+    }
+    case FitFamily::kShiftedExponential:
+      out.shift = d.min();
+      out.p1 = std::max(mean - d.min(), 1e-12);  // mean of the excess
+      break;
+  }
+  return out;
+}
+
+double ks_distance(const EmpiricalDistribution& d,
+                   const FittedDistribution& f) {
+  // Evaluate |F_emp - F_fit| on a fine quantile grid of the empirical CDF.
+  constexpr int kPoints = 256;
+  double worst = 0.0;
+  for (int i = 1; i < kPoints; ++i) {
+    const double q = static_cast<double>(i) / kPoints;
+    const double x = d.quantile(q);
+    worst = std::max(worst, std::fabs(q - f.cdf(x)));
+  }
+  return worst;
+}
+
+BestFit fit_best(const EmpiricalDistribution& d) {
+  constexpr std::array kFamilies = {
+      FitFamily::kNormal, FitFamily::kShiftedLognormal,
+      FitFamily::kShiftedGamma, FitFamily::kShiftedExponential};
+  BestFit best;
+  bool first = true;
+  for (const FitFamily family : kFamilies) {
+    const FittedDistribution candidate = fit(d, family);
+    const double ks = ks_distance(d, candidate);
+    if (first || ks < best.ks) {
+      best = BestFit{candidate, ks};
+      first = false;
+    }
+  }
+  return best;
+}
+
+}  // namespace stats

@@ -1,0 +1,59 @@
+// Parametrised fits to communication-time histograms.
+//
+// Section 2 of the paper notes that MPIBench PDFs can be modelled by fits to
+// standard functions. Communication-time distributions have a hard lower
+// bound (the contention-free minimum), so the natural families are *shifted*
+// lognormal / gamma / exponential; plain normal is included as a baseline.
+#pragma once
+
+#include <string>
+
+#include "stats/empirical.h"
+#include "stats/rng.h"
+
+namespace stats {
+
+enum class FitFamily {
+  kNormal,
+  kShiftedLognormal,
+  kShiftedGamma,
+  kShiftedExponential,
+};
+
+[[nodiscard]] std::string to_string(FitFamily family);
+
+/// A fitted parametric distribution. For the shifted families, `shift` is
+/// the lower bound and the remaining parameters describe (X - shift).
+struct FittedDistribution {
+  FitFamily family = FitFamily::kNormal;
+  double shift = 0.0;  ///< location (lower bound) for shifted families
+  double p1 = 0.0;     ///< normal: mean;  lognormal: mu;  gamma: shape;  exp: mean
+  double p2 = 0.0;     ///< normal: sigma; lognormal: sigma; gamma: scale; exp: unused
+
+  [[nodiscard]] double pdf(double x) const;
+  [[nodiscard]] double cdf(double x) const;
+  [[nodiscard]] double mean() const;
+  /// Lower edge of the support (the bounded minimum for shifted families;
+  /// a 3-sigma floor for the unbounded normal).
+  [[nodiscard]] double support_min() const;
+  [[nodiscard]] double sample(Rng& rng) const;
+};
+
+/// Fits one family to an empirical distribution by the method of moments.
+/// For shifted families the shift is set just below the observed minimum.
+[[nodiscard]] FittedDistribution fit(const EmpiricalDistribution& d,
+                                     FitFamily family);
+
+/// Fits every family and returns the one with the smallest KS distance to
+/// the empirical CDF (evaluated on the empirical quantile grid).
+struct BestFit {
+  FittedDistribution distribution;
+  double ks = 0.0;
+};
+[[nodiscard]] BestFit fit_best(const EmpiricalDistribution& d);
+
+/// KS distance between an empirical distribution and a fitted CDF.
+[[nodiscard]] double ks_distance(const EmpiricalDistribution& d,
+                                 const FittedDistribution& f);
+
+}  // namespace stats

@@ -1,0 +1,110 @@
+#include "stats/histogram.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace stats {
+
+Histogram::Histogram(double bin_width, double origin)
+    : bin_width_{bin_width}, origin_{origin} {
+  if (!(bin_width > 0.0)) {
+    throw std::invalid_argument{"Histogram bin_width must be positive"};
+  }
+}
+
+std::size_t Histogram::bin_index(double x) const noexcept {
+  if (x < origin_) return 0;
+  return static_cast<std::size_t>((x - origin_) / bin_width_);
+}
+
+void Histogram::add(double x) { add_n(x, 1); }
+
+void Histogram::add_n(double x, std::uint64_t n) {
+  if (n == 0) return;
+  if (x < origin_) underflow_ += n;
+  const std::size_t idx = bin_index(x);
+  if (idx >= counts_.size()) counts_.resize(idx + 1, 0);
+  counts_[idx] += n;
+  total_ += n;
+  for (std::uint64_t i = 0; i < n; ++i) summary_.add(x);
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.bin_width_ != bin_width_ || other.origin_ != origin_) {
+    throw std::invalid_argument{"Histogram::merge: incompatible binning"};
+  }
+  if (other.counts_.size() > counts_.size()) {
+    counts_.resize(other.counts_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+  underflow_ += other.underflow_;
+  summary_.merge(other.summary_);
+}
+
+std::uint64_t Histogram::count_at(std::size_t bin) const {
+  if (bin >= counts_.size()) {
+    throw std::out_of_range{"Histogram::count_at: bin out of range"};
+  }
+  return counts_[bin];
+}
+
+std::vector<HistogramBin> Histogram::bins() const {
+  std::vector<HistogramBin> result;
+  result.reserve(counts_.size());
+  const double norm =
+      total_ > 0 ? 1.0 / (static_cast<double>(total_) * bin_width_) : 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double lo = origin_ + static_cast<double>(i) * bin_width_;
+    result.push_back(HistogramBin{
+        .lo = lo,
+        .hi = lo + bin_width_,
+        .count = counts_[i],
+        .density = static_cast<double>(counts_[i]) * norm,
+    });
+  }
+  return result;
+}
+
+double Histogram::mode() const noexcept {
+  std::size_t best = 0;
+  std::uint64_t best_count = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] > best_count) {
+      best_count = counts_[i];
+      best = i;
+    }
+  }
+  if (best_count == 0) return 0.0;
+  return origin_ + (static_cast<double>(best) + 0.5) * bin_width_;
+}
+
+Histogram Histogram::coarsened(std::size_t factor) const {
+  if (factor == 0) throw std::invalid_argument{"coarsened: factor must be > 0"};
+  Histogram out{bin_width_ * static_cast<double>(factor), origin_};
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double centre =
+        origin_ + (static_cast<double>(i) + 0.5) * bin_width_;
+    out.add_n(centre, counts_[i]);
+  }
+  // Preserve the exact summary: coarsening must not blur min/avg statistics.
+  out.summary_ = summary_;
+  out.underflow_ = underflow_;
+  return out;
+}
+
+std::string Histogram::to_csv() const {
+  std::ostringstream os;
+  os << "lo,hi,count,density\n";
+  for (const auto& bin : bins()) {
+    os << bin.lo << ',' << bin.hi << ',' << bin.count << ',' << bin.density
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace stats

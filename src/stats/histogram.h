@@ -1,0 +1,71 @@
+// Histograms over communication times, matching the paper's use of
+// fixed-bin-width PDFs ("histogram bin size" is an explicit accuracy knob in
+// Section 6). Bins grow on demand so the theoretically-unbounded maximum
+// time (Section 3) never needs to be known in advance.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/summary.h"
+
+namespace stats {
+
+/// One bin of a rendered histogram.
+struct HistogramBin {
+  double lo = 0.0;       ///< inclusive lower edge
+  double hi = 0.0;       ///< exclusive upper edge
+  std::uint64_t count = 0;
+  double density = 0.0;  ///< count / (total * width): integrates to 1
+};
+
+/// Fixed-bin-width histogram with a fixed origin and an open-ended right
+/// side. Also tracks exact streaming summary statistics of the raw samples,
+/// because the paper compares distribution-based modelling against the
+/// min / average single-point models.
+class Histogram {
+ public:
+  /// `bin_width` must be positive; `origin` is the left edge of bin 0.
+  /// Samples below `origin` are clamped into bin 0 (and counted in
+  /// `underflow()` for diagnostics).
+  explicit Histogram(double bin_width, double origin = 0.0);
+
+  void add(double x);
+  void add_n(double x, std::uint64_t n);
+  void merge(const Histogram& other);
+
+  [[nodiscard]] double bin_width() const noexcept { return bin_width_; }
+  [[nodiscard]] double origin() const noexcept { return origin_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count_at(std::size_t bin) const;
+  [[nodiscard]] const Summary& summary() const noexcept { return summary_; }
+
+  /// Renders all bins (including empty interior ones) with densities.
+  [[nodiscard]] std::vector<HistogramBin> bins() const;
+
+  /// The bin index that `x` would land in.
+  [[nodiscard]] std::size_t bin_index(double x) const noexcept;
+
+  /// Mode estimate: centre of the fullest bin (0 if empty).
+  [[nodiscard]] double mode() const noexcept;
+
+  /// Re-bins into a coarser histogram whose width is `factor` times larger.
+  [[nodiscard]] Histogram coarsened(std::size_t factor) const;
+
+  /// CSV rows: "lo,hi,count,density" with a header line.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  double bin_width_;
+  double origin_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  Summary summary_;
+};
+
+}  // namespace stats

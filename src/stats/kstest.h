@@ -1,0 +1,23 @@
+// Two-sample Kolmogorov-Smirnov test, used by the test suite to check that
+// simulated communication-time distributions keep their shape across
+// refactorings, and by analysis code to compare measured vs predicted
+// whole-program time distributions.
+#pragma once
+
+#include <span>
+
+namespace stats {
+
+struct KsResult {
+  double statistic = 0.0;  ///< sup |F1 - F2|
+  double p_value = 0.0;    ///< asymptotic two-sided p-value
+};
+
+/// Two-sample KS test. Inputs need not be sorted. Throws on empty input.
+[[nodiscard]] KsResult ks_two_sample(std::span<const double> a,
+                                     std::span<const double> b);
+
+/// Asymptotic KS survival function Q(lambda) = 2 sum (-1)^{k-1} e^{-2k^2 l^2}.
+[[nodiscard]] double ks_q(double lambda) noexcept;
+
+}  // namespace stats

@@ -1,0 +1,51 @@
+// Streaming and batch summary statistics.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace stats {
+
+/// Streaming summary using Welford's algorithm: O(1) space, numerically
+/// stable mean/variance, plus min/max tracking.
+class Summary {
+ public:
+  void add(double x) noexcept;
+  void merge(const Summary& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+  /// Standard error of the mean; 0 for fewer than two samples.
+  [[nodiscard]] double sem() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Quantile of a sample by linear interpolation between order statistics
+/// (type-7, the R/NumPy default). q in [0, 1]. The input need not be sorted.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Quantile of an already ascending-sorted sample (no copy).
+[[nodiscard]] double quantile_sorted(std::span<const double> xs, double q);
+
+/// Median convenience wrapper.
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Batch mean; 0 for empty input.
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+
+}  // namespace stats

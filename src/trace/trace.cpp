@@ -1,0 +1,48 @@
+#include "trace/trace.h"
+
+#include <ostream>
+#include <utility>
+
+namespace trace {
+
+std::string_view to_string(Category category) noexcept {
+  switch (category) {
+    case Category::kProcess: return "process";
+    case Category::kPacket: return "packet";
+    case Category::kLink: return "link";
+    case Category::kTransport: return "transport";
+    case Category::kMpi: return "mpi";
+    case Category::kBenchmark: return "benchmark";
+    case Category::kPevpm: return "pevpm";
+  }
+  return "unknown";
+}
+
+void Tracer::record(std::int64_t time_ns, Category category,
+                    std::int64_t subject, std::string detail) {
+  if (!enabled_) return;
+  records_.push_back(Record{time_ns, category, subject, std::move(detail)});
+}
+
+std::size_t Tracer::count(Category category) const noexcept {
+  std::size_t n = 0;
+  for (const auto& record : records_) {
+    if (record.category == category) ++n;
+  }
+  return n;
+}
+
+void Tracer::dump_csv(std::ostream& os) const {
+  os << "time_ns,category,subject,detail\n";
+  for (const auto& record : records_) {
+    os << record.time_ns << ',' << to_string(record.category) << ','
+       << record.subject << ',' << record.detail << '\n';
+  }
+}
+
+Tracer& global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+}  // namespace trace

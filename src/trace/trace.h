@@ -1,0 +1,62 @@
+// Lightweight event tracing for the simulator.
+//
+// Disabled tracers cost one branch per record call. Records carry the
+// virtual timestamp, a category, a subject id (rank, node, link...) and a
+// free-form detail string; sinks can filter by category and dump CSV.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace trace {
+
+enum class Category : std::uint8_t {
+  kProcess,
+  kPacket,
+  kLink,
+  kTransport,
+  kMpi,
+  kBenchmark,
+  kPevpm,
+};
+
+[[nodiscard]] std::string_view to_string(Category category) noexcept;
+
+struct Record {
+  std::int64_t time_ns = 0;
+  Category category = Category::kProcess;
+  std::int64_t subject = -1;
+  std::string detail;
+};
+
+class Tracer {
+ public:
+  /// Tracers start disabled; recording is a no-op until enabled.
+  void enable(bool on = true) noexcept { enabled_ = on; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  void record(std::int64_t time_ns, Category category, std::int64_t subject,
+              std::string detail);
+
+  [[nodiscard]] const std::vector<Record>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::size_t count(Category category) const noexcept;
+  void clear() noexcept { records_.clear(); }
+
+  /// CSV rows "time_ns,category,subject,detail".
+  void dump_csv(std::ostream& os) const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<Record> records_;
+};
+
+/// A process-wide tracer for ad-hoc debugging; libraries take a Tracer*
+/// dependency instead of using this directly.
+[[nodiscard]] Tracer& global();
+
+}  // namespace trace

@@ -1,0 +1,239 @@
+// Unit tests for the discrete-event engine and cooperative processes.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "des/engine.h"
+#include "des/process.h"
+
+namespace {
+
+TEST(Engine, ExecutesInTimeOrder) {
+  des::Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(30, [&] { order.push_back(3); });
+  engine.schedule_at(10, [&] { order.push_back(1); });
+  engine.schedule_at(20, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), 30);
+  EXPECT_EQ(engine.processed(), 3u);
+}
+
+TEST(Engine, SameTimeOrderedByPriorityThenSeq) {
+  des::Engine engine;
+  std::vector<std::string> order;
+  engine.schedule_at(5, [&] { order.push_back("b1"); }, 1);
+  engine.schedule_at(5, [&] { order.push_back("a1"); }, 0);
+  engine.schedule_at(5, [&] { order.push_back("b2"); }, 1);
+  engine.schedule_at(5, [&] { order.push_back("a2"); }, 0);
+  engine.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"a1", "a2", "b1", "b2"}));
+}
+
+TEST(Engine, SchedulingInThePastThrows) {
+  des::Engine engine;
+  engine.schedule_at(10, [] {});
+  engine.run();
+  EXPECT_THROW(engine.schedule_at(5, [] {}), std::invalid_argument);
+  EXPECT_THROW(engine.schedule_in(-1, [] {}), std::invalid_argument);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  des::Engine engine;
+  bool ran = false;
+  const auto id = engine.schedule_at(10, [&] { ran = true; });
+  EXPECT_TRUE(engine.cancel(id));
+  EXPECT_FALSE(engine.cancel(id));  // double-cancel reports failure
+  engine.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(engine.processed(), 0u);
+}
+
+TEST(Engine, CancelAfterExecutionReturnsFalse) {
+  des::Engine engine;
+  const auto id = engine.schedule_at(1, [] {});
+  engine.run();
+  EXPECT_FALSE(engine.cancel(id));
+}
+
+TEST(Engine, CancelInvalidIdReturnsFalse) {
+  des::Engine engine;
+  EXPECT_FALSE(engine.cancel({}));
+}
+
+TEST(Engine, PendingCountsExcludeCancelled) {
+  des::Engine engine;
+  engine.schedule_at(1, [] {});
+  const auto id = engine.schedule_at(2, [] {});
+  EXPECT_EQ(engine.pending(), 2u);
+  engine.cancel(id);
+  EXPECT_EQ(engine.pending(), 1u);
+  EXPECT_FALSE(engine.empty());
+  engine.run();
+  EXPECT_TRUE(engine.empty());
+}
+
+TEST(Engine, RunUntilAdvancesClockWithoutOverrunning) {
+  des::Engine engine;
+  std::vector<int> hits;
+  engine.schedule_at(10, [&] { hits.push_back(10); });
+  engine.schedule_at(30, [&] { hits.push_back(30); });
+  engine.run_until(20);
+  EXPECT_EQ(hits, std::vector<int>{10});
+  EXPECT_EQ(engine.now(), 20);
+  engine.run();
+  EXPECT_EQ(hits, (std::vector<int>{10, 30}));
+}
+
+TEST(Engine, EventsCanScheduleEvents) {
+  des::Engine engine;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) engine.schedule_in(10, chain);
+  };
+  engine.schedule_at(0, chain);
+  engine.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(engine.now(), 40);
+}
+
+TEST(Process, DelayAdvancesVirtualTime) {
+  des::Engine engine;
+  des::SimTime finish = -1;
+  std::unique_ptr<des::Process> worker;
+  worker = std::make_unique<des::Process>(engine, "w", [&] {
+    worker->delay(100);
+    worker->delay(250);
+    finish = engine.now();
+  });
+  engine.run();
+  EXPECT_EQ(finish, 350);
+}
+
+TEST(Process, StartAtDelaysFirstActivation) {
+  des::Engine engine;
+  des::SimTime started = -1;
+  des::Process proc{engine, "p", [&] { started = engine.now(); }, 500};
+  engine.run();
+  EXPECT_EQ(started, 500);
+  EXPECT_TRUE(proc.finished());
+}
+
+TEST(Process, UnparkBeforeParkIsNotLost) {
+  des::Engine engine;
+  bool resumed = false;
+  std::unique_ptr<des::Process> proc;
+  proc = std::make_unique<des::Process>(engine, "p", [&] {
+    proc->unpark();  // permit posted before park
+    proc->park();    // consumes it without blocking
+    resumed = true;
+  });
+  engine.run();
+  EXPECT_TRUE(resumed);
+}
+
+TEST(Process, ParkBlocksUntilUnparked) {
+  des::Engine engine;
+  des::SimTime woke = -1;
+  std::unique_ptr<des::Process> sleeper;
+  sleeper = std::make_unique<des::Process>(engine, "sleeper", [&] {
+    sleeper->park();
+    woke = engine.now();
+  });
+  std::unique_ptr<des::Process> waker;
+  waker = std::make_unique<des::Process>(engine, "waker", [&] {
+    waker->delay(777);
+    sleeper->unpark();
+  });
+  engine.run();
+  EXPECT_EQ(woke, 777);
+}
+
+TEST(Process, ParkUntilTimesOut) {
+  des::Engine engine;
+  bool got_permit = true;
+  des::SimTime after = -1;
+  std::unique_ptr<des::Process> proc;
+  proc = std::make_unique<des::Process>(engine, "p", [&] {
+    got_permit = proc->park_until(1000);
+    after = engine.now();
+  });
+  engine.run();
+  EXPECT_FALSE(got_permit);
+  EXPECT_EQ(after, 1000);
+}
+
+TEST(Process, ParkUntilSucceedsBeforeDeadline) {
+  des::Engine engine;
+  bool got_permit = false;
+  des::SimTime after = -1;
+  std::unique_ptr<des::Process> sleeper;
+  sleeper = std::make_unique<des::Process>(engine, "sleeper", [&] {
+    got_permit = sleeper->park_until(1000);
+    after = engine.now();
+  });
+  std::unique_ptr<des::Process> waker;
+  waker = std::make_unique<des::Process>(engine, "waker", [&] {
+    waker->delay(300);
+    sleeper->unpark();
+  });
+  engine.run();
+  EXPECT_TRUE(got_permit);
+  EXPECT_EQ(after, 300);
+}
+
+TEST(Process, DestructorKillsBlockedProcess) {
+  des::Engine engine;
+  bool unwound = false;
+  {
+    std::unique_ptr<des::Process> proc;
+    proc = std::make_unique<des::Process>(engine, "stuck", [&] {
+      struct Guard {
+        bool* flag;
+        ~Guard() { *flag = true; }
+      } guard{&unwound};
+      static_cast<void>(guard);
+      // park() forever: deadlock on purpose; the destructor must unwind it.
+      for (;;) proc->park();
+    });
+    engine.run();  // process parks; queue drains
+    EXPECT_FALSE(proc->finished());
+  }  // destructor must kill + join without hanging
+  EXPECT_TRUE(unwound);
+}
+
+TEST(Process, ExceptionsAreCapturedAndRethrown) {
+  des::Engine engine;
+  des::Process proc{engine, "thrower",
+                    [] { throw std::runtime_error{"boom"}; }};
+  engine.run();
+  EXPECT_TRUE(proc.finished());
+  EXPECT_THROW(proc.rethrow_if_failed(), std::runtime_error);
+}
+
+TEST(Process, ManyProcessesInterleaveDeterministically) {
+  // Two identical engines must produce identical interleavings.
+  auto run_once = [] {
+    des::Engine engine;
+    std::vector<int> order;
+    std::vector<std::unique_ptr<des::Process>> procs;
+    for (int i = 0; i < 8; ++i) {
+      procs.push_back(std::make_unique<des::Process>(
+          engine, "p" + std::to_string(i), [&, i] {
+            for (int k = 0; k < 3; ++k) {
+              procs[i]->delay(10 * (i + 1));
+              order.push_back(i);
+            }
+          }));
+    }
+    engine.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace

@@ -1,0 +1,102 @@
+// The PEVPM symbolic expression language.
+#include <gtest/gtest.h>
+
+#include "core/expr.h"
+
+namespace {
+
+double ev(const char* text, pevpm::Bindings env = {}) {
+  return pevpm::parse_expr(text)->eval(env);
+}
+
+TEST(Expr, ArithmeticPrecedence) {
+  EXPECT_DOUBLE_EQ(ev("2 + 3 * 4"), 14.0);
+  EXPECT_DOUBLE_EQ(ev("(2 + 3) * 4"), 20.0);
+  EXPECT_DOUBLE_EQ(ev("2 - 3 - 4"), -5.0);
+  EXPECT_DOUBLE_EQ(ev("-2 * 3"), -6.0);
+  EXPECT_DOUBLE_EQ(ev("2.5 * 4"), 10.0);
+}
+
+TEST(Expr, DivisionIsRealModuloIsIntegral) {
+  // Division never truncates ("1/numprocs" is a time expression); rank and
+  // size contexts truncate via eval_int instead.
+  EXPECT_DOUBLE_EQ(ev("7 / 2"), 3.5);
+  EXPECT_DOUBLE_EQ(ev("1 / 4"), 0.25);
+  EXPECT_EQ(pevpm::eval_int(*pevpm::parse_expr("7 / 2"), {}), 3);
+  EXPECT_DOUBLE_EQ(ev("7 % 3"), 1.0);
+  EXPECT_DOUBLE_EQ(ev("7.5 % 2"), 1.5);  // fmod for non-integral operands
+}
+
+TEST(Expr, Comparisons) {
+  EXPECT_DOUBLE_EQ(ev("3 == 3"), 1.0);
+  EXPECT_DOUBLE_EQ(ev("3 != 3"), 0.0);
+  EXPECT_DOUBLE_EQ(ev("2 < 3"), 1.0);
+  EXPECT_DOUBLE_EQ(ev("3 <= 3"), 1.0);
+  EXPECT_DOUBLE_EQ(ev("2 > 3"), 0.0);
+  EXPECT_DOUBLE_EQ(ev("3 >= 4"), 0.0);
+}
+
+TEST(Expr, LogicShortCircuits) {
+  EXPECT_DOUBLE_EQ(ev("1 && 0"), 0.0);
+  EXPECT_DOUBLE_EQ(ev("1 || 0"), 1.0);
+  EXPECT_DOUBLE_EQ(ev("!0"), 1.0);
+  EXPECT_DOUBLE_EQ(ev("!3"), 0.0);
+  // Short-circuit: the div-by-zero on the right must never evaluate.
+  EXPECT_DOUBLE_EQ(ev("0 && 1 / 0"), 0.0);
+  EXPECT_DOUBLE_EQ(ev("1 || 1 / 0"), 1.0);
+}
+
+TEST(Expr, VariablesFromEnvironment) {
+  pevpm::Bindings env{{"procnum", 3.0}, {"numprocs", 8.0}};
+  EXPECT_DOUBLE_EQ(ev("procnum % 2 == 1", env), 1.0);
+  EXPECT_DOUBLE_EQ(ev("procnum != numprocs - 1", env), 1.0);
+  EXPECT_DOUBLE_EQ(ev("3.24 / numprocs", env), 0.405);
+}
+
+TEST(Expr, UnboundVariableThrows) {
+  EXPECT_THROW(ev("bogus + 1"), std::runtime_error);
+}
+
+TEST(Expr, DivisionByZeroThrows) {
+  EXPECT_THROW(ev("1 / 0"), std::runtime_error);
+  EXPECT_THROW(ev("1 % 0"), std::runtime_error);
+}
+
+TEST(Expr, ParseErrorsCarryContext) {
+  EXPECT_THROW((void)pevpm::parse_expr("2 +"), pevpm::ParseError);
+  EXPECT_THROW((void)pevpm::parse_expr("(1 + 2"), pevpm::ParseError);
+  EXPECT_THROW((void)pevpm::parse_expr("1 ; 2"), pevpm::ParseError);
+  EXPECT_THROW((void)pevpm::parse_expr(""), pevpm::ParseError);
+}
+
+TEST(Expr, StrRoundTripsThroughParser) {
+  const auto e = pevpm::parse_expr("(procnum % 2 == 0) && procnum != 0");
+  const auto again = pevpm::parse_expr(e->str());
+  pevpm::Bindings env{{"procnum", 4.0}};
+  EXPECT_DOUBLE_EQ(e->eval(env), again->eval(env));
+  env["procnum"] = 0.0;
+  EXPECT_DOUBLE_EQ(e->eval(env), again->eval(env));
+}
+
+TEST(Expr, CollectVarsFindsAllNames) {
+  const auto e = pevpm::parse_expr("xsize * 4 + procnum - procnum");
+  std::vector<std::string> vars;
+  e->collect_vars(vars);
+  EXPECT_EQ(vars.size(), 3u);
+  EXPECT_EQ(vars[0], "xsize");
+  EXPECT_EQ(vars[1], "procnum");
+}
+
+TEST(Expr, BuilderLeaves) {
+  const auto c = pevpm::constant(2.5);
+  EXPECT_DOUBLE_EQ(c->eval({}), 2.5);
+  const auto v = pevpm::variable("n");
+  EXPECT_DOUBLE_EQ(v->eval({{"n", 9.0}}), 9.0);
+}
+
+TEST(Expr, EvalIntTruncates) {
+  const auto e = pevpm::parse_expr("7.9");
+  EXPECT_EQ(pevpm::eval_int(*e, {}), 7);
+}
+
+}  // namespace

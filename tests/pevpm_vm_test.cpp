@@ -1,0 +1,356 @@
+// The PEVPM virtual machine: sweep/match semantics, scoreboard, sampler
+// modes, deadlock detection and loss attribution.
+#include <gtest/gtest.h>
+
+#include "core/parse.h"
+#include "core/predict.h"
+#include "core/scoreboard.h"
+#include "core/sampler.h"
+#include "core/vm.h"
+#include "mpibench/table.h"
+
+namespace {
+
+using mpibench::DistributionTable;
+using mpibench::OpKind;
+
+/// A table with constant delivery and sender times: predictions become
+/// exactly computable by hand.
+DistributionTable constant_table(double oneway_s, double sender_s,
+                                 int contention = 1) {
+  DistributionTable table;
+  table.insert(OpKind::kPtpOneWay, 0, contention,
+               stats::EmpiricalDistribution::constant(oneway_s));
+  table.insert(OpKind::kPtpOneWay, 1 << 20, contention,
+               stats::EmpiricalDistribution::constant(oneway_s));
+  table.insert(OpKind::kPtpSender, 0, contention,
+               stats::EmpiricalDistribution::constant(sender_s));
+  table.insert(OpKind::kPtpSender, 1 << 20, contention,
+               stats::EmpiricalDistribution::constant(sender_s));
+  return table;
+}
+
+pevpm::SimulationResult run(const pevpm::Model& model, int nprocs,
+                            const DistributionTable& table,
+                            pevpm::SamplerOptions opts = {}) {
+  pevpm::DeliverySampler sampler{table, opts, 42};
+  return pevpm::simulate(model, nprocs, {}, sampler);
+}
+
+TEST(Vm, SerialOnlyModelSumsComputeTime) {
+  const auto model = pevpm::parse_model("loop 10 {\n serial time = 0.5\n}\n");
+  const auto table = constant_table(1.0, 0.0);
+  const auto result = run(model, 4, table);
+  EXPECT_DOUBLE_EQ(result.makespan, 5.0);
+  for (const auto& proc : result.processes) {
+    EXPECT_DOUBLE_EQ(proc.compute, 5.0);
+    EXPECT_DOUBLE_EQ(proc.blocked, 0.0);
+  }
+  EXPECT_FALSE(result.deadlocked);
+}
+
+TEST(Vm, PingPongTimesAreExactWithConstantTable) {
+  // p0 sends (sender cost 1 ms), message arrives 10 ms after depart; p1
+  // replies. One round trip = 2 x 10 ms for the waiting side.
+  const char* text = R"(
+runon procnum == 0 {
+  message send size = 100 to = 1
+  message recv size = 100 from = 1
+} else {
+  message recv size = 100 from = 0
+  message send size = 100 to = 0
+}
+)";
+  const auto model = pevpm::parse_model(text);
+  const auto table = constant_table(10e-3, 1e-3);
+  const auto result = run(model, 2, table);
+  // p1: blocked until t=10ms, sends (1ms) -> finishes at 11ms.
+  // p0: sends (1ms), then waits for p1's reply, which departed at p1's
+  // clock 10ms and arrives 10ms later.
+  EXPECT_NEAR(result.processes[1].finish, 0.011, 1e-9);
+  EXPECT_NEAR(result.processes[0].finish, 0.020, 1e-9);
+  EXPECT_EQ(result.messages, 2u);
+}
+
+TEST(Vm, LateReceiverPaysDrainCostNotArrival) {
+  const char* text = R"(
+runon procnum == 0 {
+  message send size = 100 to = 1
+} else {
+  serial time = 1.0
+  message recv size = 100 from = 0
+}
+)";
+  const auto model = pevpm::parse_model(text);
+  const auto table = constant_table(10e-3, 1e-3);
+  const auto result = run(model, 2, table);
+  // The message arrived at 10 ms; p1 receives at 1 s + drain (sender-table
+  // proxy cost, 1 ms).
+  EXPECT_NEAR(result.processes[1].finish, 1.001, 1e-9);
+}
+
+TEST(Vm, RunonGuardsSelectProcesses) {
+  const char* text = R"(
+runon procnum == 2 {
+  serial time = 7.0
+} else {
+  serial time = 1.0
+}
+)";
+  const auto model = pevpm::parse_model(text);
+  const auto result = run(model, 4, constant_table(1.0, 0.0));
+  EXPECT_DOUBLE_EQ(result.processes[2].compute, 7.0);
+  EXPECT_DOUBLE_EQ(result.processes[0].compute, 1.0);
+  EXPECT_DOUBLE_EQ(result.makespan, 7.0);
+}
+
+TEST(Vm, NonblockingOverlapsComputeWithTransfer) {
+  const char* text = R"(
+runon procnum == 0 {
+  message send size = 100 to = 1
+} else {
+  message irecv size = 100 from = 0 handle = h
+  serial time = 0.008
+  wait h
+}
+)";
+  const auto model = pevpm::parse_model(text);
+  const auto table = constant_table(10e-3, 0.0);
+  const auto result = run(model, 2, table);
+  // Compute (8 ms) overlaps the 10 ms transfer: wait only blocks 2 ms.
+  EXPECT_NEAR(result.processes[1].finish, 0.010, 1e-9);
+  EXPECT_NEAR(result.processes[1].blocked, 0.002, 1e-9);
+}
+
+TEST(Vm, WaitOnIsendHandleCompletesInstantly) {
+  const char* text = R"(
+runon procnum == 0 {
+  message isend size = 100 to = 1 handle = s
+  wait s
+} else {
+  message recv size = 100 from = 0
+}
+)";
+  const auto model = pevpm::parse_model(text);
+  const auto table = constant_table(10e-3, 1e-3);
+  const auto result = run(model, 2, table);
+  EXPECT_NEAR(result.processes[0].finish, 1e-3, 1e-9);
+}
+
+TEST(Vm, MessagesMatchFifoPerPair) {
+  const char* text = R"(
+runon procnum == 0 {
+  message send size = 1 to = 1
+  message send size = 2 to = 1
+} else {
+  message recv size = 1 from = 0
+  message recv size = 2 from = 0
+}
+)";
+  const auto model = pevpm::parse_model(text);
+  const auto result = run(model, 2, constant_table(1e-3, 0.0));
+  EXPECT_FALSE(result.deadlocked);
+  EXPECT_EQ(result.messages, 2u);
+}
+
+TEST(Vm, DeadlockIsReportedNotThrown) {
+  const char* text = R"(
+message recv size = 8 from = (procnum + 1) % numprocs
+message send size = 8 to = (procnum + 1) % numprocs
+)";
+  const auto model = pevpm::parse_model(text);
+  const auto result = run(model, 3, constant_table(1e-3, 0.0));
+  EXPECT_TRUE(result.deadlocked);
+  EXPECT_EQ(result.deadlocked_processes.size(), 3u);
+  EXPECT_EQ(result.deadlocked_directives.size(), 3u);
+}
+
+TEST(Vm, ModelErrorsThrow) {
+  const auto table = constant_table(1e-3, 0.0);
+  const auto self = pevpm::parse_model("message send size = 8 to = procnum\n");
+  EXPECT_THROW((void)run(self, 2, table), pevpm::ModelError);
+  const auto oob = pevpm::parse_model("message send size = 8 to = numprocs\n");
+  EXPECT_THROW((void)run(oob, 2, table), pevpm::ModelError);
+  const auto badwait = pevpm::parse_model("wait nothing\n");
+  EXPECT_THROW((void)run(badwait, 2, table), pevpm::ModelError);
+}
+
+TEST(Vm, LossAttributionPinpointsTheSlowReceive) {
+  const char* text = R"(
+runon procnum == 0 {
+  serial time = 2.0
+  message send size = 8 to = 1
+} else {
+  message recv size = 8 from = 0
+}
+)";
+  const auto model = pevpm::parse_model(text);
+  const auto result = run(model, 2, constant_table(1e-3, 0.0));
+  ASSERT_FALSE(result.deadlocked);
+  EXPECT_NEAR(result.processes[1].blocked, 2.001, 1e-9);
+  const auto losses = result.top_losses(1);
+  ASSERT_EQ(losses.size(), 1u);
+  EXPECT_NEAR(losses[0].second, 2.001, 1e-9);
+}
+
+TEST(Vm, AverageAndMinimumModesAreDeterministicBounds) {
+  // A two-point distribution: min 1 ms, max 3 ms (mean 2 ms).
+  // Entries exactly at the message size, so lookups return the original
+  // distribution object (blending would blur means to bin midpoints).
+  DistributionTable table;
+  stats::Histogram h{1e-4};
+  h.add(1e-3);
+  h.add(3e-3);
+  table.insert(OpKind::kPtpOneWay, 100, 1, stats::EmpiricalDistribution{h});
+  table.insert(OpKind::kPtpSender, 100, 1,
+               stats::EmpiricalDistribution::constant(0.0));
+  const char* text = R"(
+runon procnum == 0 {
+  message send size = 100 to = 1
+} else {
+  message recv size = 100 from = 0
+}
+)";
+  const auto model = pevpm::parse_model(text);
+  pevpm::SamplerOptions min_opts;
+  min_opts.mode = pevpm::PredictionMode::kMinimum;
+  pevpm::SamplerOptions avg_opts;
+  avg_opts.mode = pevpm::PredictionMode::kAverage;
+  const auto min_result = run(model, 2, table, min_opts);
+  const auto avg_result = run(model, 2, table, avg_opts);
+  EXPECT_NEAR(min_result.makespan, 1e-3, 1e-9);
+  EXPECT_NEAR(avg_result.makespan, 2e-3, 1e-9);
+  // Distribution mode lands within the support.
+  const auto dist_result = run(model, 2, table);
+  EXPECT_GE(dist_result.makespan, 1e-3 - 1e-9);
+  EXPECT_LE(dist_result.makespan, 3e-3 + 1e-4);
+  // Ordering: the minimum model is the most optimistic.
+  EXPECT_LT(min_result.makespan, avg_result.makespan);
+}
+
+TEST(Vm, SymbolicModelReevaluatesAcrossMachineSizes) {
+  const auto model = pevpm::parse_model("serial time = 1.0 / numprocs\n");
+  const auto table = constant_table(1e-3, 0.0);
+  EXPECT_DOUBLE_EQ(run(model, 2, table).makespan, 0.5);
+  EXPECT_DOUBLE_EQ(run(model, 8, table).makespan, 0.125);
+}
+
+TEST(Vm, LoopInductionVariableDrivesPartners) {
+  // A ring relay: each round, p0 sends to a different peer chosen by the
+  // loop variable — exercising "loop N as k".
+  const char* text = R"(
+runon procnum == 0 {
+  loop numprocs - 1 as k {
+    message send size = 64 to = k + 1
+  }
+} else {
+  message recv size = 64 from = 0
+}
+)";
+  const auto model = pevpm::parse_model(text);
+  const auto result = run(model, 4, constant_table(1e-3, 1e-4));
+  EXPECT_FALSE(result.deadlocked);
+  EXPECT_EQ(result.messages, 3u);
+  // Printed form round-trips the "as" syntax.
+  const auto again = pevpm::parse_model(model.str(), "model");
+  EXPECT_EQ(again.str(), model.str());
+}
+
+TEST(Scoreboard, FifoClaimAndOutstandingCount) {
+  pevpm::Scoreboard board;
+  const auto m1 = board.add(0, 1, 100, 0.0, 1);
+  const auto m2 = board.add(0, 1, 200, 0.1, 2);
+  EXPECT_EQ(board.outstanding(), 2);
+  const auto c1 = board.claim(0, 1);
+  EXPECT_EQ(c1->id, m1->id);
+  const auto c2 = board.claim(0, 1);
+  EXPECT_EQ(c2->id, m2->id);
+  EXPECT_EQ(board.claim(0, 1), nullptr);
+  board.consume(c1);
+  EXPECT_EQ(board.outstanding(), 1);
+  board.consume(c2);
+  EXPECT_EQ(board.outstanding(), 0);
+  EXPECT_EQ(board.total_messages(), 2u);
+}
+
+TEST(Scoreboard, UnassignedDrainsOnce) {
+  pevpm::Scoreboard board;
+  board.add(0, 1, 100, 0.0, 1);
+  EXPECT_EQ(board.take_unassigned().size(), 1u);
+  EXPECT_TRUE(board.take_unassigned().empty());
+}
+
+TEST(Scoreboard, ArrivalFloorMonotone) {
+  pevpm::Scoreboard board;
+  EXPECT_DOUBLE_EQ(board.arrival_floor(0, 1), 0.0);
+  board.note_arrival(0, 1, 5.0);
+  board.note_arrival(0, 1, 3.0);  // earlier arrival must not lower the floor
+  EXPECT_DOUBLE_EQ(board.arrival_floor(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(board.arrival_floor(1, 0), 0.0);
+}
+
+TEST(Predict, ReplicationsSummarise) {
+  const char* text = R"(
+runon procnum == 0 {
+  message send size = 100 to = 1
+} else {
+  message recv size = 100 from = 0
+}
+)";
+  const auto model = pevpm::parse_model(text);
+  const auto table = constant_table(5e-3, 1e-3);
+  pevpm::PredictOptions opts;
+  opts.replications = 6;
+  const auto prediction = pevpm::predict(model, 2, {}, table, opts);
+  EXPECT_EQ(prediction.makespan.count(), 6u);
+  EXPECT_NEAR(prediction.seconds(), 5e-3, 1e-9);
+  EXPECT_FALSE(prediction.deadlocked);
+}
+
+TEST(Predict, SpeedupsComputedAgainstSingleProcess) {
+  const auto model =
+      pevpm::parse_model("loop 4 {\n serial time = 1.0 / numprocs\n}\n");
+  const auto table = constant_table(1e-3, 0.0);
+  pevpm::PredictOptions opts;
+  opts.replications = 2;
+  const auto points =
+      pevpm::predict_speedups(model, {2, 4}, {}, table, opts);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_NEAR(points[0].speedup, 2.0, 1e-6);
+  EXPECT_NEAR(points[1].speedup, 4.0, 1e-6);
+}
+
+TEST(Sampler, FixedContentionIgnoresScoreboard) {
+  DistributionTable table;
+  table.insert(OpKind::kPtpOneWay, 100, 1,
+               stats::EmpiricalDistribution::constant(1e-3));
+  table.insert(OpKind::kPtpOneWay, 100, 32,
+               stats::EmpiricalDistribution::constant(9e-3));
+  pevpm::SamplerOptions opts;
+  opts.mode = pevpm::PredictionMode::kAverage;
+  opts.contention = pevpm::ContentionSource::kFixed;
+  opts.fixed_contention = 1;
+  pevpm::DeliverySampler fixed{table, opts, 1};
+  EXPECT_NEAR(fixed.delivery_seconds(100, 32), 1e-3, 1e-9);
+  opts.contention = pevpm::ContentionSource::kScoreboard;
+  pevpm::DeliverySampler scoreboard{table, opts, 1};
+  EXPECT_NEAR(scoreboard.delivery_seconds(100, 32), 9e-3, 1e-9);
+}
+
+TEST(Sampler, FallbackSenderCostWhenTableLacksEntries) {
+  DistributionTable table;
+  table.insert(OpKind::kPtpOneWay, 100, 1,
+               stats::EmpiricalDistribution::constant(1e-3));
+  pevpm::SamplerOptions opts;
+  opts.default_sender_seconds = 33e-6;
+  pevpm::DeliverySampler sampler{table, opts, 1};
+  EXPECT_DOUBLE_EQ(sampler.sender_seconds(100, 1), 33e-6);
+}
+
+TEST(Sampler, MissingOneWayTableThrows) {
+  DistributionTable table;
+  pevpm::DeliverySampler sampler{table, {}, 1};
+  EXPECT_THROW((void)sampler.delivery_seconds(100, 1), std::runtime_error);
+}
+
+}  // namespace

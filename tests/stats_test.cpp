@@ -1,0 +1,397 @@
+// Unit tests for the statistics substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "stats/empirical.h"
+#include "stats/fit.h"
+#include "stats/histogram.h"
+#include "stats/kstest.h"
+#include "stats/rng.h"
+#include "stats/summary.h"
+
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  stats::Rng a{123};
+  stats::Rng b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  stats::Rng a{1};
+  stats::Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a() == b();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  stats::Rng rng{7};
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  stats::Rng rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(3.0, 5.0);
+    ASSERT_GE(u, 3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, BelowIsUnbiasedAndBounded) {
+  stats::Rng rng{9};
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[rng.below(10)];
+  for (const int c : counts) EXPECT_NEAR(c, 5000, 350);
+  EXPECT_EQ(rng.below(0), 0u);
+  EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, NormalMoments) {
+  stats::Rng rng{11};
+  stats::Summary s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.normal(10.0, 3.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.08);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.08);
+}
+
+TEST(Rng, ExponentialMean) {
+  stats::Rng rng{13};
+  stats::Summary s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.exponential(2.5));
+  EXPECT_NEAR(s.mean(), 2.5, 0.06);
+  EXPECT_GE(s.min(), 0.0);
+}
+
+TEST(Rng, BernoulliProportion) {
+  stats::Rng rng{17};
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  stats::Rng a{21};
+  stats::Rng b = a.split();
+  // The split stream must not replay the parent stream.
+  stats::Rng a2{21};
+  (void)a2();  // advance by the amount split() consumed
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a2() == b();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Summary, MatchesDirectComputation) {
+  const std::vector<double> xs{1.0, 2.0, 4.0, 8.0, 16.0};
+  stats::Summary s;
+  for (const double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 6.2);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 16.0);
+  // Sample variance with n-1 denominator.
+  double var = 0.0;
+  for (const double x : xs) var += (x - 6.2) * (x - 6.2);
+  var /= 4.0;
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+}
+
+TEST(Summary, MergeEqualsConcatenation) {
+  stats::Rng rng{3};
+  stats::Summary all;
+  stats::Summary left;
+  stats::Summary right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    all.add(x);
+    (i % 2 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmpty) {
+  stats::Summary a;
+  a.add(1.0);
+  stats::Summary b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Quantile, InterpolatesLinearly) {
+  const std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(stats::quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(stats::quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(stats::quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(stats::median(xs), 2.5);
+}
+
+TEST(Quantile, ThrowsOnEmpty) {
+  EXPECT_THROW((void)stats::quantile({}, 0.5), std::invalid_argument);
+}
+
+TEST(Histogram, BinsAndDensity) {
+  stats::Histogram h{1.0};
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  h.add(5.5);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bin_count(), 6u);
+  EXPECT_EQ(h.count_at(0), 1u);
+  EXPECT_EQ(h.count_at(1), 2u);
+  EXPECT_EQ(h.count_at(5), 1u);
+  double integral = 0.0;
+  for (const auto& bin : h.bins()) integral += bin.density * (bin.hi - bin.lo);
+  EXPECT_NEAR(integral, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(h.mode(), 1.5);
+}
+
+TEST(Histogram, UnderflowClampsToBinZero) {
+  stats::Histogram h{1.0, 10.0};
+  h.add(3.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.count_at(0), 1u);
+  // Exact statistics are preserved even for clamped samples.
+  EXPECT_DOUBLE_EQ(h.summary().min(), 3.0);
+}
+
+TEST(Histogram, CoarsenPreservesTotalsAndSummary) {
+  stats::Rng rng{5};
+  stats::Histogram h{0.5};
+  for (int i = 0; i < 1000; ++i) h.add(rng.uniform(0.0, 20.0));
+  const stats::Histogram c = h.coarsened(4);
+  EXPECT_EQ(c.total(), h.total());
+  EXPECT_DOUBLE_EQ(c.bin_width(), 2.0);
+  EXPECT_DOUBLE_EQ(c.summary().mean(), h.summary().mean());
+}
+
+TEST(Histogram, MergeRequiresSameBinning) {
+  stats::Histogram a{1.0};
+  stats::Histogram b{2.0};
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  stats::Histogram c{1.0};
+  c.add(3.0);
+  a.add(1.0);
+  a.merge(c);
+  EXPECT_EQ(a.total(), 2u);
+}
+
+TEST(Histogram, RejectsBadBinWidth) {
+  EXPECT_THROW(stats::Histogram{0.0}, std::invalid_argument);
+  EXPECT_THROW(stats::Histogram{-1.0}, std::invalid_argument);
+}
+
+TEST(Histogram, CsvHasHeaderAndRows) {
+  stats::Histogram h{1.0};
+  h.add(0.5);
+  const std::string csv = h.to_csv();
+  EXPECT_NE(csv.find("lo,hi,count,density"), std::string::npos);
+  EXPECT_NE(csv.find("0,1,1,"), std::string::npos);
+}
+
+TEST(Empirical, SampleStaysInSupport) {
+  stats::Histogram h{1.0};
+  stats::Rng rng{31};
+  for (int i = 0; i < 1000; ++i) h.add(rng.uniform(2.0, 12.0));
+  const stats::EmpiricalDistribution d{h};
+  stats::Rng sampler{32};
+  for (int i = 0; i < 2000; ++i) {
+    const double x = d.sample(sampler);
+    ASSERT_GE(x, 2.0);
+    ASSERT_LE(x, 13.0);  // bin granularity can round up to the bin edge
+  }
+}
+
+TEST(Empirical, PreservesExactExtremaFromHistogram) {
+  stats::Histogram h{10.0};
+  h.add(3.25);
+  h.add(17.5);
+  const stats::EmpiricalDistribution d{h};
+  EXPECT_DOUBLE_EQ(d.min(), 3.25);
+  EXPECT_DOUBLE_EQ(d.max(), 17.5);
+  EXPECT_DOUBLE_EQ(d.mean(), (3.25 + 17.5) / 2);
+}
+
+TEST(Empirical, CdfAndQuantileAreInverse) {
+  std::vector<double> xs;
+  stats::Rng rng{41};
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.normal(50.0, 5.0));
+  stats::Histogram h{0.5};
+  for (const double x : xs) h.add(x);
+  const stats::EmpiricalDistribution d{h};
+  for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    EXPECT_NEAR(d.cdf(d.quantile(q)), q, 0.02) << "q=" << q;
+  }
+}
+
+TEST(Empirical, ConstantDistribution) {
+  const auto d = stats::EmpiricalDistribution::constant(4.5);
+  stats::Rng rng{1};
+  EXPECT_DOUBLE_EQ(d.sample(rng), 4.5);
+  EXPECT_DOUBLE_EQ(d.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(d.min(), 4.5);
+}
+
+TEST(Empirical, FromSamplesIsExact) {
+  const std::vector<double> xs{1.0, 2.0, 2.0, 3.0};
+  const auto d = stats::EmpiricalDistribution::from_samples(xs);
+  EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.quantile(1.0), 3.0);
+  stats::Rng rng{2};
+  for (int i = 0; i < 100; ++i) {
+    const double x = d.sample(rng);
+    EXPECT_TRUE(x == 1.0 || x == 2.0 || x == 3.0);
+  }
+}
+
+TEST(Empirical, BlendedMeanInterpolates) {
+  const auto a = stats::EmpiricalDistribution::constant(10.0);
+  const auto b = stats::EmpiricalDistribution::constant(20.0);
+  const auto mix = a.blended(b, 0.25);
+  EXPECT_NEAR(mix.mean(), 12.5, 0.01);
+  EXPECT_DOUBLE_EQ(a.blended(b, 0.0).mean(), 10.0);
+  EXPECT_DOUBLE_EQ(a.blended(b, 1.0).mean(), 20.0);
+}
+
+TEST(Empirical, ScaledScalesSupport) {
+  const auto d =
+      stats::EmpiricalDistribution::from_samples(std::vector<double>{1, 2, 3});
+  const auto s = d.scaled(2.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+}
+
+TEST(Empirical, SaveLoadRoundTrips) {
+  stats::Histogram h{0.25};
+  stats::Rng rng{55};
+  for (int i = 0; i < 300; ++i) h.add(rng.exponential(3.0));
+  const stats::EmpiricalDistribution d{h};
+  std::stringstream ss;
+  d.save(ss);
+  const auto loaded = stats::EmpiricalDistribution::load(ss);
+  EXPECT_EQ(loaded.sample_count(), d.sample_count());
+  for (const double q : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(loaded.quantile(q), d.quantile(q), 0.26);
+  }
+}
+
+TEST(Empirical, EmptyThrowsOnUse) {
+  const stats::EmpiricalDistribution d;
+  stats::Rng rng{1};
+  EXPECT_FALSE(d.valid());
+  EXPECT_THROW((void)d.sample(rng), std::logic_error);
+  EXPECT_THROW((void)d.cdf(0.0), std::logic_error);
+}
+
+struct FitCase {
+  stats::FitFamily family;
+  const char* name;
+};
+
+class FitRecovery : public ::testing::TestWithParam<FitCase> {};
+
+TEST_P(FitRecovery, RecoversSyntheticDistribution) {
+  const FitCase fit_case = GetParam();
+  // Generate from a known member of the family, fit, and check KS distance.
+  stats::Rng rng{77};
+  stats::FittedDistribution truth;
+  truth.family = fit_case.family;
+  truth.shift = 100.0;
+  switch (fit_case.family) {
+    case stats::FitFamily::kNormal:
+      truth.shift = 0.0;
+      truth.p1 = 150.0;
+      truth.p2 = 12.0;
+      break;
+    case stats::FitFamily::kShiftedLognormal:
+      truth.p1 = 2.0;
+      truth.p2 = 0.4;
+      break;
+    case stats::FitFamily::kShiftedGamma:
+      truth.p1 = 4.0;
+      truth.p2 = 3.0;
+      break;
+    case stats::FitFamily::kShiftedExponential:
+      truth.p1 = 8.0;
+      break;
+  }
+  stats::Histogram h{0.25};
+  for (int i = 0; i < 20000; ++i) h.add(truth.sample(rng));
+  const stats::EmpiricalDistribution d{h};
+  const auto fitted = stats::fit(d, fit_case.family);
+  EXPECT_NEAR(fitted.mean(), d.mean(), 0.02 * d.mean());
+  EXPECT_LT(stats::ks_distance(d, fitted), 0.08) << fit_case.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, FitRecovery,
+    ::testing::Values(
+        FitCase{stats::FitFamily::kNormal, "normal"},
+        FitCase{stats::FitFamily::kShiftedLognormal, "lognormal"},
+        FitCase{stats::FitFamily::kShiftedGamma, "gamma"},
+        FitCase{stats::FitFamily::kShiftedExponential, "exponential"}),
+    [](const auto& param_info) { return std::string{param_info.param.name}; });
+
+TEST(Fit, BestFitPrefersGeneratingFamily) {
+  stats::Rng rng{99};
+  stats::Histogram h{0.1};
+  for (int i = 0; i < 20000; ++i) h.add(50.0 + rng.exponential(5.0));
+  const stats::EmpiricalDistribution d{h};
+  const auto best = stats::fit_best(d);
+  EXPECT_LT(best.ks, 0.05);
+  // Exponential data must not be best-fit by a symmetric normal.
+  EXPECT_NE(best.distribution.family, stats::FitFamily::kNormal);
+}
+
+TEST(KsTest, SameDistributionHighPValue) {
+  stats::Rng rng{101};
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 2000; ++i) {
+    a.push_back(rng.normal(0.0, 1.0));
+    b.push_back(rng.normal(0.0, 1.0));
+  }
+  const auto result = stats::ks_two_sample(a, b);
+  EXPECT_GT(result.p_value, 0.01);
+  EXPECT_LT(result.statistic, 0.06);
+}
+
+TEST(KsTest, ShiftedDistributionRejected) {
+  stats::Rng rng{103};
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 2000; ++i) {
+    a.push_back(rng.normal(0.0, 1.0));
+    b.push_back(rng.normal(0.5, 1.0));
+  }
+  const auto result = stats::ks_two_sample(a, b);
+  EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(KsTest, ThrowsOnEmpty) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW((void)stats::ks_two_sample({}, xs), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,51 @@
+// Trace utility tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/trace.h"
+
+namespace {
+
+TEST(Trace, DisabledTracerRecordsNothing) {
+  trace::Tracer tracer;
+  tracer.record(1, trace::Category::kMpi, 0, "x");
+  EXPECT_TRUE(tracer.records().empty());
+}
+
+TEST(Trace, EnabledTracerRecordsAndCounts) {
+  trace::Tracer tracer;
+  tracer.enable();
+  tracer.record(10, trace::Category::kPacket, 3, "tx");
+  tracer.record(20, trace::Category::kPacket, 3, "rx");
+  tracer.record(30, trace::Category::kMpi, 1, "send");
+  EXPECT_EQ(tracer.records().size(), 3u);
+  EXPECT_EQ(tracer.count(trace::Category::kPacket), 2u);
+  EXPECT_EQ(tracer.count(trace::Category::kPevpm), 0u);
+}
+
+TEST(Trace, CsvDumpIncludesAllFields) {
+  trace::Tracer tracer;
+  tracer.enable();
+  tracer.record(42, trace::Category::kLink, 7, "drop");
+  std::ostringstream os;
+  tracer.dump_csv(os);
+  EXPECT_NE(os.str().find("time_ns,category,subject,detail"),
+            std::string::npos);
+  EXPECT_NE(os.str().find("42,link,7,drop"), std::string::npos);
+}
+
+TEST(Trace, ClearResets) {
+  trace::Tracer tracer;
+  tracer.enable();
+  tracer.record(1, trace::Category::kProcess, 0, "a");
+  tracer.clear();
+  EXPECT_TRUE(tracer.records().empty());
+}
+
+TEST(Trace, CategoryNames) {
+  EXPECT_EQ(trace::to_string(trace::Category::kBenchmark), "benchmark");
+  EXPECT_EQ(trace::to_string(trace::Category::kTransport), "transport");
+}
+
+}  // namespace

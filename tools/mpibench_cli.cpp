@@ -1,0 +1,188 @@
+// mpibench: command-line MPI communication benchmark for the simulated
+// cluster, producing human-readable summaries, histogram CSVs and PEVPM
+// distribution-table files.
+//
+// Usage:
+//   mpibench [options]
+//     --nodes N          nodes to benchmark on (default 16)
+//     --ppn P            processes per node (default 1)
+//     --sizes a,b,c      message sizes in bytes (default 0,1024,16384,65536)
+//     --reps R           measured repetitions (default 200)
+//     --op OP            isend | barrier | bcast | alltoall (default isend)
+//     --bin-us W         histogram bin width in microseconds (default 10)
+//     --table FILE       ALSO sweep configs 2..N x ppn and write a PEVPM
+//                        distribution table to FILE
+//     --histograms       print full per-size histograms
+//     --cluster FILE     cluster description overrides ("key = value")
+//     --seed S
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mpibench/benchmark.h"
+#include "net/cluster.h"
+
+namespace {
+
+struct Args {
+  int nodes = 16;
+  int ppn = 1;
+  std::vector<net::Bytes> sizes{0, 1024, 16384, 65536};
+  int reps = 200;
+  std::string op = "isend";
+  double bin_us = 10.0;
+  std::string table_file;
+  std::string cluster_file;
+  bool histograms = false;
+  std::uint64_t seed = 1;
+};
+
+std::vector<net::Bytes> parse_sizes(const std::string& list) {
+  std::vector<net::Bytes> out;
+  std::stringstream ss{list};
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    out.push_back(static_cast<net::Bytes>(std::stoull(item)));
+  }
+  return out;
+}
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--nodes N] [--ppn P] [--sizes a,b,c] [--reps R]\n"
+               "          [--op isend|barrier|bcast|alltoall] [--bin-us W]\n"
+               "          [--table FILE] [--histograms] [--cluster FILE]\n"
+               "          [--seed S]\n",
+               argv0);
+  std::exit(2);
+}
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (flag == "--nodes") {
+      args.nodes = std::stoi(value());
+    } else if (flag == "--ppn") {
+      args.ppn = std::stoi(value());
+    } else if (flag == "--sizes") {
+      args.sizes = parse_sizes(value());
+    } else if (flag == "--reps") {
+      args.reps = std::stoi(value());
+    } else if (flag == "--op") {
+      args.op = value();
+    } else if (flag == "--bin-us") {
+      args.bin_us = std::stod(value());
+    } else if (flag == "--table") {
+      args.table_file = value();
+    } else if (flag == "--cluster") {
+      args.cluster_file = value();
+    } else if (flag == "--histograms") {
+      args.histograms = true;
+    } else if (flag == "--seed") {
+      args.seed = std::stoull(value());
+    } else {
+      usage(argv[0]);
+    }
+  }
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+
+  mpibench::Options opt;
+  opt.cluster = net::perseus(std::max(2, args.nodes));
+  if (!args.cluster_file.empty()) {
+    std::ifstream in{args.cluster_file};
+    if (!in) {
+      std::fprintf(stderr, "cannot open cluster file %s\n",
+                   args.cluster_file.c_str());
+      return 1;
+    }
+    opt.cluster = net::parse_cluster(in, opt.cluster);
+  }
+  opt.cluster.nodes = args.nodes;
+  opt.procs_per_node = args.ppn;
+  opt.repetitions = args.reps;
+  opt.warmup = std::max(8, args.reps / 10);
+  opt.bin_width_us = args.bin_us;
+  opt.seed = args.seed;
+
+  std::printf("%s", net::describe(opt.cluster).c_str());
+  std::printf("benchmarking %s, %dx%d, %d repetitions\n\n", args.op.c_str(),
+              args.nodes, args.ppn, args.reps);
+
+  if (args.op == "isend") {
+    std::printf("%10s %10s %10s %10s %10s %8s\n", "bytes", "min_us",
+                "avg_us", "p99_us", "max_us", "mbit");
+    for (const net::Bytes size : args.sizes) {
+      const auto result = mpibench::run_isend(opt, size);
+      const auto& s = result.oneway.summary();
+      std::printf("%10llu %10.1f %10.1f %10.1f %10.1f %8.1f\n",
+                  static_cast<unsigned long long>(size), s.min() * 1e6,
+                  s.mean() * 1e6,
+                  result.distribution().quantile(0.99) * 1e6, s.max() * 1e6,
+                  size > 0 ? static_cast<double>(size) * 8 / s.mean() / 1e6
+                           : 0.0);
+      if (args.histograms) {
+        std::printf("%s\n", result.oneway.to_csv().c_str());
+      }
+    }
+  } else if (args.op == "barrier" || args.op == "bcast" ||
+             args.op == "alltoall") {
+    std::printf("%10s %10s %10s %10s\n", "bytes", "min_us", "avg_us",
+                "max_us");
+    for (const net::Bytes size : args.sizes) {
+      mpibench::CollectiveResult result;
+      if (args.op == "barrier") {
+        result = mpibench::run_barrier(opt);
+      } else if (args.op == "bcast") {
+        result = mpibench::run_bcast(opt, size);
+      } else {
+        result = mpibench::run_alltoall(opt, size);
+      }
+      const auto& s = result.completion.summary();
+      std::printf("%10llu %10.1f %10.1f %10.1f\n",
+                  static_cast<unsigned long long>(size), s.min() * 1e6,
+                  s.mean() * 1e6, s.max() * 1e6);
+      if (args.histograms) {
+        std::printf("%s\n", result.completion.to_csv().c_str());
+      }
+      if (args.op == "barrier") break;  // size-independent
+    }
+  } else {
+    std::fprintf(stderr, "unknown op '%s'\n", args.op.c_str());
+    return 1;
+  }
+
+  if (!args.table_file.empty()) {
+    std::printf("\nsweeping configurations for the distribution table...\n");
+    std::vector<mpibench::Config> configs;
+    for (int n = 2; n <= args.nodes; n *= 2) configs.push_back({n, args.ppn});
+    if (configs.empty() || configs.back().nodes != args.nodes) {
+      configs.push_back({args.nodes, args.ppn});
+    }
+    const auto table = mpibench::measure_isend_table(opt, args.sizes,
+                                                     configs);
+    std::ofstream out{args.table_file};
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", args.table_file.c_str());
+      return 1;
+    }
+    table.save(out);
+    std::printf("wrote %zu table entries to %s\n", table.size(),
+                args.table_file.c_str());
+  }
+  return 0;
+}

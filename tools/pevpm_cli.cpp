@@ -1,0 +1,165 @@
+// pevpm: command-line PEVPM model evaluator.
+//
+// Usage:
+//   pevpm --model FILE --table FILE --procs N [options]
+//     --model FILE       directive program, or C/C++ source with
+//                        "// PEVPM" annotations (detected automatically)
+//     --table FILE       distribution table from mpibench --table
+//     --procs N          number of virtual processes (or a,b,c list)
+//     --mode M           distribution | average | minimum (default
+//                        distribution)
+//     --contention C     scoreboard | fixed:<level> (default scoreboard)
+//     --reps R           Monte-Carlo replications (default 8)
+//     --set name=value   bind/override a model parameter (repeatable)
+//     --losses           print the top blocking-loss directives
+//     --dump             print the parsed model and exit
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/parse.h"
+#include "core/predict.h"
+#include "mpibench/table.h"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --model FILE --table FILE --procs N[,M...]\n"
+               "          [--mode distribution|average|minimum]\n"
+               "          [--contention scoreboard|fixed:<level>]\n"
+               "          [--reps R] [--set name=value]... [--losses]\n"
+               "          [--dump]\n",
+               argv0);
+  std::exit(2);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string model_file;
+  std::string table_file;
+  std::vector<int> proc_counts;
+  pevpm::PredictOptions opts;
+  pevpm::Bindings overrides;
+  bool losses = false;
+  bool dump = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (flag == "--model") {
+      model_file = value();
+    } else if (flag == "--table") {
+      table_file = value();
+    } else if (flag == "--procs") {
+      std::stringstream ss{value()};
+      std::string item;
+      while (std::getline(ss, item, ',')) {
+        proc_counts.push_back(std::stoi(item));
+      }
+    } else if (flag == "--mode") {
+      const std::string mode = value();
+      if (mode == "distribution") {
+        opts.sampler.mode = pevpm::PredictionMode::kDistribution;
+      } else if (mode == "average") {
+        opts.sampler.mode = pevpm::PredictionMode::kAverage;
+      } else if (mode == "minimum") {
+        opts.sampler.mode = pevpm::PredictionMode::kMinimum;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (flag == "--contention") {
+      const std::string c = value();
+      if (c == "scoreboard") {
+        opts.sampler.contention = pevpm::ContentionSource::kScoreboard;
+      } else if (c.rfind("fixed:", 0) == 0) {
+        opts.sampler.contention = pevpm::ContentionSource::kFixed;
+        opts.sampler.fixed_contention = std::stoi(c.substr(6));
+      } else {
+        usage(argv[0]);
+      }
+    } else if (flag == "--reps") {
+      opts.replications = std::stoi(value());
+    } else if (flag == "--set") {
+      const std::string kv = value();
+      const auto eq = kv.find('=');
+      if (eq == std::string::npos) usage(argv[0]);
+      overrides[kv.substr(0, eq)] = std::stod(kv.substr(eq + 1));
+    } else if (flag == "--losses") {
+      losses = true;
+    } else if (flag == "--dump") {
+      dump = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (model_file.empty() || (!dump && table_file.empty()) ||
+      (!dump && proc_counts.empty())) {
+    usage(argv[0]);
+  }
+
+  const std::string source = slurp(model_file);
+  const bool annotated = source.find("// PEVPM") != std::string::npos;
+  const pevpm::Model model =
+      annotated ? pevpm::parse_annotated_source(source, model_file)
+                : pevpm::parse_model(source, model_file);
+  if (dump) {
+    std::printf("%s", model.str().c_str());
+    return 0;
+  }
+
+  std::ifstream table_in{table_file};
+  if (!table_in) {
+    std::fprintf(stderr, "cannot open %s\n", table_file.c_str());
+    return 1;
+  }
+  const auto table = mpibench::DistributionTable::load(table_in);
+  std::printf("model %s (%d directives), table %s (%zu entries)\n\n",
+              model.name.c_str(), model.node_count, table_file.c_str(),
+              table.size());
+
+  std::printf("%8s %14s %14s %10s %8s\n", "procs", "predicted_s", "sem_s",
+              "messages", "status");
+  for (const int procs : proc_counts) {
+    const auto prediction =
+        pevpm::predict(model, procs, overrides, table, opts);
+    std::printf("%8d %14.6f %14.6f %10llu %8s\n", procs,
+                prediction.seconds(), prediction.makespan.sem(),
+                static_cast<unsigned long long>(prediction.detail.messages),
+                prediction.deadlocked ? "DEADLOCK" : "ok");
+    if (prediction.deadlocked) {
+      std::printf("  blocked processes:");
+      for (std::size_t i = 0;
+           i < prediction.detail.deadlocked_processes.size() && i < 8; ++i) {
+        std::printf(" %d(dir %d)", prediction.detail.deadlocked_processes[i],
+                    prediction.detail.deadlocked_directives[i]);
+      }
+      std::printf("\n");
+    }
+    if (losses) {
+      for (const auto& [directive, loss] : prediction.detail.top_losses(5)) {
+        std::printf("  loss: directive %d blocked %.4f s total\n", directive,
+                    loss);
+      }
+    }
+  }
+  return 0;
+}
