@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_binsize.dir/abl_binsize.cpp.o"
+  "CMakeFiles/abl_binsize.dir/abl_binsize.cpp.o.d"
+  "abl_binsize"
+  "abl_binsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_binsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1_isend_small.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_isend_large.dir/fig2_isend_large.cpp.o"
+  "CMakeFiles/fig2_isend_large.dir/fig2_isend_large.cpp.o.d"
+  "fig2_isend_large"
+  "fig2_isend_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_isend_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_pdf_large.dir/fig4_pdf_large.cpp.o"
+  "CMakeFiles/fig4_pdf_large.dir/fig4_pdf_large.cpp.o.d"
+  "fig4_pdf_large"
+  "fig4_pdf_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_pdf_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

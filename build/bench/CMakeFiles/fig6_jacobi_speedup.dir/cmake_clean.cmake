@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_jacobi_speedup.dir/fig6_jacobi_speedup.cpp.o"
+  "CMakeFiles/fig6_jacobi_speedup.dir/fig6_jacobi_speedup.cpp.o.d"
+  "fig6_jacobi_speedup"
+  "fig6_jacobi_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_jacobi_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taba_contention_ratio.dir/taba_contention_ratio.cpp.o"
+  "CMakeFiles/taba_contention_ratio.dir/taba_contention_ratio.cpp.o.d"
+  "taba_contention_ratio"
+  "taba_contention_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taba_contention_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

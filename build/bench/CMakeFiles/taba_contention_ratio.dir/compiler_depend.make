@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for taba_contention_ratio.
+# This may be replaced when dependencies are built.

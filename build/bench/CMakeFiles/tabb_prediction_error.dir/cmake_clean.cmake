@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabb_prediction_error.dir/tabb_prediction_error.cpp.o"
+  "CMakeFiles/tabb_prediction_error.dir/tabb_prediction_error.cpp.o.d"
+  "tabb_prediction_error"
+  "tabb_prediction_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabb_prediction_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabc_model_cost.dir/tabc_model_cost.cpp.o"
+  "CMakeFiles/tabc_model_cost.dir/tabc_model_cost.cpp.o.d"
+  "tabc_model_cost"
+  "tabc_model_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabc_model_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabd_saturation.dir/tabd_saturation.cpp.o"
+  "CMakeFiles/tabd_saturation.dir/tabd_saturation.cpp.o.d"
+  "tabd_saturation"
+  "tabd_saturation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabd_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

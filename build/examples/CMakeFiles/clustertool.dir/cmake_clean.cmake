@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustertool.dir/clustertool.cpp.o"
+  "CMakeFiles/clustertool.dir/clustertool.cpp.o.d"
+  "clustertool"
+  "clustertool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustertool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for clustertool.
+# This may be replaced when dependencies are built.

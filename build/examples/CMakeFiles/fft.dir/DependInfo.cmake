@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/fft.cpp" "examples/CMakeFiles/fft.dir/fft.cpp.o" "gcc" "examples/CMakeFiles/fft.dir/fft.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pevpm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpibench/CMakeFiles/pevpm_mpibench.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/pevpm_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pevpm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/pevpm_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pevpm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pevpm_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

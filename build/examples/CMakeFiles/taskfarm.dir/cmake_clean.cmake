@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskfarm.dir/taskfarm.cpp.o"
+  "CMakeFiles/taskfarm.dir/taskfarm.cpp.o.d"
+  "taskfarm"
+  "taskfarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskfarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

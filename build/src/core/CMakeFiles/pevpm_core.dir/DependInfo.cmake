@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/expr.cpp" "src/core/CMakeFiles/pevpm_core.dir/expr.cpp.o" "gcc" "src/core/CMakeFiles/pevpm_core.dir/expr.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/pevpm_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/pevpm_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/parse.cpp" "src/core/CMakeFiles/pevpm_core.dir/parse.cpp.o" "gcc" "src/core/CMakeFiles/pevpm_core.dir/parse.cpp.o.d"
+  "/root/repo/src/core/predict.cpp" "src/core/CMakeFiles/pevpm_core.dir/predict.cpp.o" "gcc" "src/core/CMakeFiles/pevpm_core.dir/predict.cpp.o.d"
+  "/root/repo/src/core/sampler.cpp" "src/core/CMakeFiles/pevpm_core.dir/sampler.cpp.o" "gcc" "src/core/CMakeFiles/pevpm_core.dir/sampler.cpp.o.d"
+  "/root/repo/src/core/scoreboard.cpp" "src/core/CMakeFiles/pevpm_core.dir/scoreboard.cpp.o" "gcc" "src/core/CMakeFiles/pevpm_core.dir/scoreboard.cpp.o.d"
+  "/root/repo/src/core/theoretical.cpp" "src/core/CMakeFiles/pevpm_core.dir/theoretical.cpp.o" "gcc" "src/core/CMakeFiles/pevpm_core.dir/theoretical.cpp.o.d"
+  "/root/repo/src/core/vm.cpp" "src/core/CMakeFiles/pevpm_core.dir/vm.cpp.o" "gcc" "src/core/CMakeFiles/pevpm_core.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpibench/CMakeFiles/pevpm_mpibench.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pevpm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/pevpm_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pevpm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/pevpm_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pevpm_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pevpm_core.dir/expr.cpp.o"
+  "CMakeFiles/pevpm_core.dir/expr.cpp.o.d"
+  "CMakeFiles/pevpm_core.dir/model.cpp.o"
+  "CMakeFiles/pevpm_core.dir/model.cpp.o.d"
+  "CMakeFiles/pevpm_core.dir/parse.cpp.o"
+  "CMakeFiles/pevpm_core.dir/parse.cpp.o.d"
+  "CMakeFiles/pevpm_core.dir/predict.cpp.o"
+  "CMakeFiles/pevpm_core.dir/predict.cpp.o.d"
+  "CMakeFiles/pevpm_core.dir/sampler.cpp.o"
+  "CMakeFiles/pevpm_core.dir/sampler.cpp.o.d"
+  "CMakeFiles/pevpm_core.dir/scoreboard.cpp.o"
+  "CMakeFiles/pevpm_core.dir/scoreboard.cpp.o.d"
+  "CMakeFiles/pevpm_core.dir/theoretical.cpp.o"
+  "CMakeFiles/pevpm_core.dir/theoretical.cpp.o.d"
+  "CMakeFiles/pevpm_core.dir/vm.cpp.o"
+  "CMakeFiles/pevpm_core.dir/vm.cpp.o.d"
+  "libpevpm_core.a"
+  "libpevpm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pevpm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

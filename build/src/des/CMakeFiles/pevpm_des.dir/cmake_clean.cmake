@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pevpm_des.dir/engine.cpp.o"
+  "CMakeFiles/pevpm_des.dir/engine.cpp.o.d"
+  "CMakeFiles/pevpm_des.dir/process.cpp.o"
+  "CMakeFiles/pevpm_des.dir/process.cpp.o.d"
+  "libpevpm_des.a"
+  "libpevpm_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pevpm_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

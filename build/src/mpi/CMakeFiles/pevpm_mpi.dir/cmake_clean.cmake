@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pevpm_mpi.dir/comm.cpp.o"
+  "CMakeFiles/pevpm_mpi.dir/comm.cpp.o.d"
+  "CMakeFiles/pevpm_mpi.dir/runtime.cpp.o"
+  "CMakeFiles/pevpm_mpi.dir/runtime.cpp.o.d"
+  "libpevpm_mpi.a"
+  "libpevpm_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pevpm_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pevpm_mpibench.dir/benchmark.cpp.o"
+  "CMakeFiles/pevpm_mpibench.dir/benchmark.cpp.o.d"
+  "CMakeFiles/pevpm_mpibench.dir/clocksync.cpp.o"
+  "CMakeFiles/pevpm_mpibench.dir/clocksync.cpp.o.d"
+  "CMakeFiles/pevpm_mpibench.dir/table.cpp.o"
+  "CMakeFiles/pevpm_mpibench.dir/table.cpp.o.d"
+  "libpevpm_mpibench.a"
+  "libpevpm_mpibench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pevpm_mpibench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpevpm_mpibench.a"
+)

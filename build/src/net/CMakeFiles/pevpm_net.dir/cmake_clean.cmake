@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pevpm_net.dir/cluster.cpp.o"
+  "CMakeFiles/pevpm_net.dir/cluster.cpp.o.d"
+  "CMakeFiles/pevpm_net.dir/link.cpp.o"
+  "CMakeFiles/pevpm_net.dir/link.cpp.o.d"
+  "CMakeFiles/pevpm_net.dir/network.cpp.o"
+  "CMakeFiles/pevpm_net.dir/network.cpp.o.d"
+  "CMakeFiles/pevpm_net.dir/transport.cpp.o"
+  "CMakeFiles/pevpm_net.dir/transport.cpp.o.d"
+  "libpevpm_net.a"
+  "libpevpm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pevpm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

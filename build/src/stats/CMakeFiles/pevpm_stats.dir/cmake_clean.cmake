@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pevpm_stats.dir/empirical.cpp.o"
+  "CMakeFiles/pevpm_stats.dir/empirical.cpp.o.d"
+  "CMakeFiles/pevpm_stats.dir/fit.cpp.o"
+  "CMakeFiles/pevpm_stats.dir/fit.cpp.o.d"
+  "CMakeFiles/pevpm_stats.dir/histogram.cpp.o"
+  "CMakeFiles/pevpm_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/pevpm_stats.dir/kstest.cpp.o"
+  "CMakeFiles/pevpm_stats.dir/kstest.cpp.o.d"
+  "CMakeFiles/pevpm_stats.dir/rng.cpp.o"
+  "CMakeFiles/pevpm_stats.dir/rng.cpp.o.d"
+  "CMakeFiles/pevpm_stats.dir/summary.cpp.o"
+  "CMakeFiles/pevpm_stats.dir/summary.cpp.o.d"
+  "libpevpm_stats.a"
+  "libpevpm_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pevpm_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

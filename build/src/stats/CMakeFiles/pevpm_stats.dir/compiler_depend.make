@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pevpm_stats.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pevpm_trace.dir/trace.cpp.o"
+  "CMakeFiles/pevpm_trace.dir/trace.cpp.o.d"
+  "libpevpm_trace.a"
+  "libpevpm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pevpm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

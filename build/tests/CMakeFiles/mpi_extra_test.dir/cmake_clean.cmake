@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_extra_test.dir/mpi_extra_test.cpp.o"
+  "CMakeFiles/mpi_extra_test.dir/mpi_extra_test.cpp.o.d"
+  "mpi_extra_test"
+  "mpi_extra_test.pdb"
+  "mpi_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpibench_test.dir/mpibench_test.cpp.o"
+  "CMakeFiles/mpibench_test.dir/mpibench_test.cpp.o.d"
+  "mpibench_test"
+  "mpibench_test.pdb"
+  "mpibench_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpibench_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pevpm_collective_test.dir/pevpm_collective_test.cpp.o"
+  "CMakeFiles/pevpm_collective_test.dir/pevpm_collective_test.cpp.o.d"
+  "pevpm_collective_test"
+  "pevpm_collective_test.pdb"
+  "pevpm_collective_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pevpm_collective_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pevpm_expr_test.dir/pevpm_expr_test.cpp.o"
+  "CMakeFiles/pevpm_expr_test.dir/pevpm_expr_test.cpp.o.d"
+  "pevpm_expr_test"
+  "pevpm_expr_test.pdb"
+  "pevpm_expr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pevpm_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

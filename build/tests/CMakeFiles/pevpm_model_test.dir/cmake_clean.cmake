@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pevpm_model_test.dir/pevpm_model_test.cpp.o"
+  "CMakeFiles/pevpm_model_test.dir/pevpm_model_test.cpp.o.d"
+  "pevpm_model_test"
+  "pevpm_model_test.pdb"
+  "pevpm_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pevpm_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

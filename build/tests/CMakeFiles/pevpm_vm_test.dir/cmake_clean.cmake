@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pevpm_vm_test.dir/pevpm_vm_test.cpp.o"
+  "CMakeFiles/pevpm_vm_test.dir/pevpm_vm_test.cpp.o.d"
+  "pevpm_vm_test"
+  "pevpm_vm_test.pdb"
+  "pevpm_vm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pevpm_vm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/mpi_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/des_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/transport_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_p2p_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_collectives_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/mpibench_test[1]_include.cmake")
+include("/root/repo/build/tests/pevpm_expr_test[1]_include.cmake")
+include("/root/repo/build/tests/pevpm_model_test[1]_include.cmake")
+include("/root/repo/build/tests/pevpm_vm_test[1]_include.cmake")
+include("/root/repo/build/tests/pevpm_collective_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_extra_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pevpm_cli.dir/pevpm_cli.cpp.o"
+  "CMakeFiles/pevpm_cli.dir/pevpm_cli.cpp.o.d"
+  "pevpm"
+  "pevpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pevpm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
