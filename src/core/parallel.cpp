@@ -1,0 +1,99 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <utility>
+
+namespace pevpm {
+
+unsigned resolve_threads(int requested) noexcept {
+  if (requested >= 1) return static_cast<unsigned>(requested);
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned n = std::max(1u, threads);
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock{mu_};
+    stop_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock{mu_};
+    queue_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock lock{mu_};
+  all_done_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock{mu_};
+      task_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard lock{mu_};
+      --active_;
+      if (queue_.empty() && active_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void parallel_for(int total, unsigned threads,
+                  const std::function<void(int)>& fn) {
+  if (total <= 0) return;
+  const unsigned workers =
+      std::min<unsigned>(std::max(1u, threads), static_cast<unsigned>(total));
+  if (workers == 1 || total == 1) {
+    for (int i = 0; i < total; ++i) fn(i);
+    return;
+  }
+  std::atomic<int> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mu;
+  auto drain = [&] {
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard lock{error_mu};
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+  ThreadPool pool{workers};
+  for (unsigned t = 0; t < workers; ++t) pool.submit(drain);
+  pool.wait();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace pevpm

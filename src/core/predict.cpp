@@ -1,5 +1,10 @@
 #include "core/predict.h"
 
+#include <algorithm>
+#include <vector>
+
+#include "core/parallel.h"
+
 namespace pevpm {
 
 Prediction predict(const Model& model, int numprocs,
@@ -12,13 +17,48 @@ Prediction predict(const Model& model, int numprocs,
       options.sampler.mode == PredictionMode::kDistribution
           ? options.replications
           : 1;  // average/minimum modes are deterministic
-  for (int rep = 0; rep < reps; ++rep) {
-    DeliverySampler sampler{table, options.sampler, seeder()};
-    SimulationResult result = simulate(model, numprocs, overrides, sampler);
-    prediction.makespan.add(result.makespan);
-    prediction.deadlocked = prediction.deadlocked || result.deadlocked;
-    if (rep == reps - 1) prediction.detail = std::move(result);
+  // Seeds are drawn serially up front so the per-replication streams are a
+  // pure function of options.seed, independent of the fan-out below.
+  std::vector<std::uint64_t> seeds(static_cast<std::size_t>(std::max(reps, 0)));
+  for (auto& seed : seeds) seed = seeder();
+
+  auto run_replication = [&](int rep) {
+    DeliverySampler sampler{table, options.sampler, seeds[rep]};
+    return simulate(model, numprocs, overrides, sampler);
+  };
+
+  const unsigned threads = std::min<unsigned>(
+      resolve_threads(options.threads), static_cast<unsigned>(std::max(reps, 1)));
+  if (threads <= 1) {
+    for (int rep = 0; rep < reps; ++rep) {
+      SimulationResult result = run_replication(rep);
+      prediction.makespan.add(result.makespan);
+      prediction.deadlocked = prediction.deadlocked || result.deadlocked;
+      if (rep == reps - 1) prediction.detail = std::move(result);
+    }
+    return prediction;
   }
+
+  // Parallel fan-out: each replication owns its sampler and Vm state and
+  // only reads the shared model/table, so workers touch disjoint slots.
+  // The reduction below runs in replication order over those slots, which
+  // makes the merged summary bit-identical to the serial path — Welford
+  // updates are not reorderable, so order (not associativity) is what
+  // guarantees thread-count invariance.
+  std::vector<double> makespans(static_cast<std::size_t>(reps), 0.0);
+  std::vector<unsigned char> deadlocked(static_cast<std::size_t>(reps), 0);
+  SimulationResult detail;
+  parallel_for(reps, threads, [&](int rep) {
+    SimulationResult result = run_replication(rep);
+    makespans[rep] = result.makespan;
+    deadlocked[rep] = result.deadlocked ? 1 : 0;
+    if (rep == reps - 1) detail = std::move(result);
+  });
+  for (int rep = 0; rep < reps; ++rep) {
+    prediction.makespan.add(makespans[rep]);
+    prediction.deadlocked = prediction.deadlocked || deadlocked[rep] != 0;
+  }
+  prediction.detail = std::move(detail);
   return prediction;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <stdexcept>
 
@@ -88,20 +89,21 @@ double EmpiricalDistribution::sample(Rng& rng) const {
 
 double EmpiricalDistribution::cdf(double x) const {
   if (!valid()) throw std::logic_error{"cdf of an empty distribution"};
-  std::uint64_t below = 0;
+  // Cells are sorted by lo but may overlap (blended mixtures interleave the
+  // two inputs' supports), so every cell with lo <= x can contribute: atoms
+  // count fully when x >= lo (right-continuity: P[X <= x] includes the mass
+  // AT x), continuous cells fully past hi and pro rata inside.
+  double below = 0.0;
   for (const auto& cell : cells_) {
-    if (x >= cell.hi) {
-      below = cell.cum;
-    } else if (x > cell.lo) {
-      const double frac = (x - cell.lo) / (cell.hi - cell.lo);
-      return (static_cast<double>(below) +
-              frac * static_cast<double>(cell.weight)) /
-             static_cast<double>(total_);
+    if (cell.lo > x) break;
+    if (cell.lo == cell.hi || x >= cell.hi) {
+      below += static_cast<double>(cell.weight);
     } else {
-      break;
+      const double frac = (x - cell.lo) / (cell.hi - cell.lo);
+      below += frac * static_cast<double>(cell.weight);
     }
   }
-  return static_cast<double>(below) / static_cast<double>(total_);
+  return below / static_cast<double>(total_);
 }
 
 double EmpiricalDistribution::quantile(double q) const {
@@ -141,17 +143,26 @@ EmpiricalDistribution EmpiricalDistribution::blended(
   if (!other.valid() || w <= 0.0) return *this;
   if (w >= 1.0) return other;
   // Re-weight both inputs over a common denominator so the mixture has the
-  // requested proportions regardless of original sample counts.
+  // requested proportions regardless of original sample counts. Round the
+  // fixed-point weights: truncation maps w < ~1e-7 to wb == 0 (and w within
+  // ~1e-17 of 1 to wa == kScale via double rounding), silently dropping one
+  // input while still inserting its cells at zero weight — which corrupts
+  // min()/max() because finalize() reads the extreme cells unconditionally.
   constexpr std::uint64_t kScale = 1u << 20;
-  const auto wa = static_cast<std::uint64_t>((1.0 - w) * kScale);
+  const auto wa = static_cast<std::uint64_t>(
+      std::llround((1.0 - w) * static_cast<double>(kScale)));
   const auto wb = kScale - wa;
+  if (wb == 0) return *this;
+  if (wa == 0) return other;
   EmpiricalDistribution out;
   for (const auto& cell : cells_) {
+    if (cell.weight == 0) continue;
     out.cells_.push_back(Cell{.lo = cell.lo,
                               .hi = cell.hi,
                               .weight = cell.weight * wa});
   }
   for (const auto& cell : other.cells_) {
+    if (cell.weight == 0) continue;
     out.cells_.push_back(Cell{.lo = cell.lo,
                               .hi = cell.hi,
                               .weight = cell.weight * wb});
@@ -165,10 +176,13 @@ EmpiricalDistribution EmpiricalDistribution::blended(
 }
 
 void EmpiricalDistribution::save(std::ostream& os) const {
+  const auto precision =
+      os.precision(std::numeric_limits<double>::max_digits10);
   os << cells_.size() << '\n';
   for (const auto& cell : cells_) {
     os << cell.lo << ' ' << cell.hi << ' ' << cell.weight << '\n';
   }
+  os.precision(precision);
 }
 
 EmpiricalDistribution EmpiricalDistribution::load(std::istream& is) {
@@ -176,12 +190,37 @@ EmpiricalDistribution EmpiricalDistribution::load(std::istream& is) {
   if (!(is >> n)) throw std::runtime_error{"EmpiricalDistribution::load: bad header"};
   EmpiricalDistribution d;
   d.cells_.reserve(n);
+  double prev_lo = -std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < n; ++i) {
     Cell cell;
     if (!(is >> cell.lo >> cell.hi >> cell.weight)) {
       throw std::runtime_error{"EmpiricalDistribution::load: truncated data"};
     }
-    d.cells_.push_back(cell);
+    // A malformed table must not reach finalize(): inverted or non-finite
+    // cells break the piecewise-linear CDF, out-of-order cells break the
+    // sorted-by-lo invariant cdf()/quantile() rely on, and an overflowing
+    // cumulative sum makes upper_bound sampling land on arbitrary cells.
+    if (!std::isfinite(cell.lo) || !std::isfinite(cell.hi)) {
+      throw std::runtime_error{"EmpiricalDistribution::load: non-finite cell"};
+    }
+    if (cell.lo > cell.hi) {
+      throw std::runtime_error{"EmpiricalDistribution::load: inverted cell"};
+    }
+    if (cell.lo < prev_lo) {
+      throw std::runtime_error{"EmpiricalDistribution::load: unsorted cells"};
+    }
+    prev_lo = cell.lo;
+    if (cell.weight > std::numeric_limits<std::uint64_t>::max() - d.total_) {
+      throw std::runtime_error{"EmpiricalDistribution::load: weight overflow"};
+    }
+    d.total_ += cell.weight;
+    // Every other constructor maintains "cells carry weight"; dropping
+    // zero-weight rows here keeps finalize()'s front()/back() min/max read
+    // honest.
+    if (cell.weight > 0) d.cells_.push_back(cell);
+  }
+  if (n > 0 && d.total_ == 0) {
+    throw std::runtime_error{"EmpiricalDistribution::load: zero total weight"};
   }
   d.finalize();
   return d;

@@ -296,6 +296,100 @@ TEST(Empirical, SaveLoadRoundTrips) {
   }
 }
 
+TEST(Empirical, CdfIsRightContinuousAtPointMasses) {
+  // P[X <= x] must include the mass AT x for atom distributions...
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const auto d = stats::EmpiricalDistribution::from_samples(xs);
+  EXPECT_DOUBLE_EQ(d.cdf(1.0), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(d.cdf(2.0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(d.cdf(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.cdf(0.999), 0.0);
+  // ...including atoms that lie INSIDE a continuous cell, as blended
+  // mixtures produce (the cell list then has overlapping supports).
+  stats::Histogram h{2.0};
+  h.add(0.5);
+  h.add(1.5);
+  const stats::EmpiricalDistribution wide{h};  // one cell [0, 2), weight 2
+  // Same total weight as `wide` so the 50/50 blend is an exact half-half
+  // mixture (blended() weights cells, not normalised inputs).
+  const auto atom = stats::EmpiricalDistribution::from_samples(
+      std::vector<double>{1.0, 1.0});
+  const auto mix = wide.blended(atom, 0.5);
+  // Half the mass is the atom at 1 (all <= 1), half is uniform on [0, 2)
+  // (half <= 1): cdf(1) = 0.5 * 1 + 0.5 * 0.5 = 0.75.
+  EXPECT_DOUBLE_EQ(mix.cdf(1.0), 0.75);
+  EXPECT_DOUBLE_EQ(mix.cdf(2.0), 1.0);
+  // KS-style check: cdf is monotone across the jump.
+  EXPECT_LT(mix.cdf(0.999), mix.cdf(1.0));
+}
+
+TEST(Empirical, BlendedExtremeWeightsKeepBothSupportsHonest) {
+  const auto a = stats::EmpiricalDistribution::from_samples(
+      std::vector<double>{10.0, 11.0});
+  const auto b = stats::EmpiricalDistribution::from_samples(
+      std::vector<double>{20.0, 21.0});
+  // Weights below the fixed-point resolution collapse to the dominant
+  // input — crucially WITHOUT inserting the other input's cells at zero
+  // weight, which used to corrupt min()/max() and the sampling clamp.
+  const auto tiny = a.blended(b, 1e-18);
+  EXPECT_DOUBLE_EQ(tiny.mean(), a.mean());
+  EXPECT_DOUBLE_EQ(tiny.min(), a.min());
+  EXPECT_DOUBLE_EQ(tiny.max(), a.max());
+  const auto huge = a.blended(b, 1.0 - 1e-18);
+  EXPECT_DOUBLE_EQ(huge.mean(), b.mean());
+  EXPECT_DOUBLE_EQ(huge.min(), b.min());
+  EXPECT_DOUBLE_EQ(huge.max(), b.max());
+  // Just above the resolution both inputs survive with rounded (not
+  // truncated) weights, so the mixture mean tracks w.
+  const double w = 1e-4;
+  const auto mix = a.blended(b, w);
+  EXPECT_DOUBLE_EQ(mix.min(), a.min());
+  EXPECT_DOUBLE_EQ(mix.max(), b.max());
+  EXPECT_NEAR(mix.mean(), (1.0 - w) * a.mean() + w * b.mean(), 1e-3);
+}
+
+TEST(Empirical, LoadRejectsMalformedTables) {
+  const auto load_text = [](const char* text) {
+    std::stringstream ss{text};
+    return stats::EmpiricalDistribution::load(ss);
+  };
+  EXPECT_THROW((void)load_text("bogus"), std::runtime_error);
+  EXPECT_THROW((void)load_text("2\n1 2 5\n"), std::runtime_error);  // truncated
+  EXPECT_THROW((void)load_text("1\ninf inf 5\n"), std::runtime_error);
+  EXPECT_THROW((void)load_text("1\nnan 1 5\n"), std::runtime_error);
+  EXPECT_THROW((void)load_text("1\n2 1 5\n"), std::runtime_error);  // lo > hi
+  EXPECT_THROW((void)load_text("2\n3 4 1\n1 2 1\n"),
+               std::runtime_error);  // unsorted
+  EXPECT_THROW((void)load_text("2\n1 2 0\n3 4 0\n"),
+               std::runtime_error);  // zero total weight
+  EXPECT_THROW((void)load_text("2\n1 2 18446744073709551615\n3 4 1\n"),
+               std::runtime_error);  // cumulative weight overflow
+  // A well-formed table still loads, and zero-weight rows are dropped
+  // rather than allowed to pollute the support extrema.
+  const auto ok = load_text("3\n0 1 0\n1 2 4\n2 3 4\n");
+  EXPECT_EQ(ok.sample_count(), 8u);
+  EXPECT_DOUBLE_EQ(ok.min(), 1.0);
+  EXPECT_DOUBLE_EQ(ok.max(), 3.0);
+}
+
+TEST(Empirical, SaveLoadRoundTripIsExact) {
+  // save() writes max_digits10 precision, so reloading reproduces the
+  // distribution bit-for-bit (the coarse NEAR tolerance in
+  // SaveLoadRoundTrips predates that).
+  const auto d = stats::EmpiricalDistribution::from_samples(
+      std::vector<double>{1.0 / 3.0, 2.0 / 7.0, 1e-6, 0.1234567890123456});
+  std::stringstream ss;
+  d.save(ss);
+  const auto loaded = stats::EmpiricalDistribution::load(ss);
+  EXPECT_EQ(loaded.sample_count(), d.sample_count());
+  EXPECT_EQ(loaded.mean(), d.mean());
+  EXPECT_EQ(loaded.min(), d.min());
+  EXPECT_EQ(loaded.max(), d.max());
+  for (const double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    EXPECT_EQ(loaded.quantile(q), d.quantile(q));
+  }
+}
+
 TEST(Empirical, EmptyThrowsOnUse) {
   const stats::EmpiricalDistribution d;
   stats::Rng rng{1};

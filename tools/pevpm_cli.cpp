@@ -10,6 +10,9 @@
 //                        distribution)
 //     --contention C     scoreboard | fixed:<level> (default scoreboard)
 //     --reps R           Monte-Carlo replications (default 8)
+//     --threads N        worker threads for replications (default: one per
+//                        hardware thread; 1 = serial). Results for a fixed
+//                        seed are identical at any thread count.
 //     --set name=value   bind/override a model parameter (repeatable)
 //     --losses           print the top blocking-loss directives
 //     --dump             print the parsed model and exit
@@ -31,7 +34,8 @@ namespace {
                "usage: %s --model FILE --table FILE --procs N[,M...]\n"
                "          [--mode distribution|average|minimum]\n"
                "          [--contention scoreboard|fixed:<level>]\n"
-               "          [--reps R] [--set name=value]... [--losses]\n"
+               "          [--reps R] [--threads N] [--set name=value]...\n"
+               "          [--losses]\n"
                "          [--dump]\n",
                argv0);
   std::exit(2);
@@ -98,6 +102,8 @@ int main(int argc, char** argv) {
       }
     } else if (flag == "--reps") {
       opts.replications = std::stoi(value());
+    } else if (flag == "--threads") {
+      opts.threads = std::stoi(value());
     } else if (flag == "--set") {
       const std::string kv = value();
       const auto eq = kv.find('=');
