@@ -59,6 +59,14 @@ int main() {
               "mean_s,identical_to_serial\n");
   double serial_wall = 0.0;
   stats::Summary serial_summary;
+  struct Row {
+    int threads = 0;
+    double wall = 0.0;
+    double speedup = 0.0;
+    double mean_s = 0.0;
+    bool identical = false;
+  };
+  std::vector<Row> rows;
   for (const int threads : thread_counts) {
     opts.threads = threads;
     pevpm::Prediction prediction;
@@ -77,6 +85,28 @@ int main() {
     std::printf("%d,%d,%.3f,%.1f,%.2f,%.6f,%s\n", threads, reps, wall,
                 static_cast<double>(reps) / wall, serial_wall / wall,
                 prediction.seconds(), identical ? "yes" : "NO");
+    rows.push_back(Row{threads, wall, serial_wall / wall,
+                       prediction.seconds(), identical});
+  }
+  if (const char* json = benchutil::json_path()) {
+    std::FILE* out = std::fopen(json, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json);
+      return 1;
+    }
+    std::fprintf(out, "{\n  \"bench\": \"par_predict\",\n  \"reps\": %d,\n"
+                      "  \"rows\": [\n", reps);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(out,
+                   "    {\"threads\": %d, \"wall_s\": %.3f, \"speedup\": "
+                   "%.2f, \"mean_s\": %.6f, \"identical\": %s}%s\n",
+                   r.threads, r.wall, r.speedup, r.mean_s,
+                   r.identical ? "true" : "false",
+                   i + 1 == rows.size() ? "" : ",");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
   }
   std::printf("# acceptance: 4-thread speedup >= 2x over serial at %d reps,\n"
               "# and identical_to_serial = yes in every row (fixed seed\n"

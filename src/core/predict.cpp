@@ -1,9 +1,11 @@
 #include "core/predict.h"
 
 #include <algorithm>
+#include <string>
 #include <vector>
 
 #include "core/parallel.h"
+#include "des/time.h"
 
 namespace pevpm {
 
@@ -24,7 +26,14 @@ Prediction predict(const Model& model, int numprocs,
 
   auto run_replication = [&](int rep) {
     DeliverySampler sampler{table, options.sampler, seeds[rep]};
-    return simulate(model, numprocs, overrides, sampler);
+    SimulationResult result = simulate(model, numprocs, overrides, sampler);
+    if (options.tracer != nullptr && options.tracer->enabled()) {
+      options.tracer->record(
+          des::from_seconds(result.makespan), trace::Category::kPevpm, rep,
+          "replication makespan_s=" + std::to_string(result.makespan) +
+              (result.deadlocked ? " deadlocked" : ""));
+    }
+    return result;
   };
 
   const unsigned threads = std::min<unsigned>(

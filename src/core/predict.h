@@ -14,6 +14,7 @@
 #include "core/sampler.h"
 #include "core/vm.h"
 #include "stats/summary.h"
+#include "trace/trace.h"
 
 namespace pevpm {
 
@@ -27,6 +28,11 @@ struct PredictOptions {
   /// comes from the same per-replication sequence, and the makespan summary
   /// is reduced in replication order regardless of completion order.
   int threads = 0;
+  /// Optional tracer: each replication records one Category::kPevpm event
+  /// (subject = replication index, detail = makespan/deadlock) from
+  /// whichever worker thread ran it. Tracer::record is thread-safe; record
+  /// order across workers is nondeterministic, record content is not.
+  trace::Tracer* tracer = nullptr;
 };
 
 struct Prediction {

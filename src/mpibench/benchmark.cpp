@@ -103,8 +103,10 @@ PointToPointResult run_isend(const Options& options, net::Bytes size) {
     }
   }
   result.tcp_timeouts = rt.transport().timeouts();
+  result.tcp_retransmits = rt.transport().retransmits();
   result.tcp_fast_retransmits = rt.transport().fast_retransmits();
   result.link_drops = rt.network().total_drops();
+  result.faults_injected = rt.network().total_faults();
   return result;
 }
 
@@ -142,6 +144,9 @@ CollectiveResult run_collective(const Options& options, net::Bytes size,
       ++result.operations;
     }
   }
+  result.tcp_timeouts = rt.transport().timeouts();
+  result.tcp_retransmits = rt.transport().retransmits();
+  result.faults_injected = rt.network().total_faults();
   return result;
 }
 

@@ -50,10 +50,13 @@ struct PointToPointResult {
   stats::Histogram sender_hist{1e-6};
   std::uint64_t messages = 0;
 
-  // TCP-lite health counters for the run (saturation forensics, Fig. 4).
+  // TCP-lite health counters for the run (saturation and fault-injection
+  // forensics, Fig. 4 / the 200 ms retransmission tail).
   std::uint64_t tcp_timeouts = 0;
+  std::uint64_t tcp_retransmits = 0;
   std::uint64_t tcp_fast_retransmits = 0;
   std::uint64_t link_drops = 0;
+  std::uint64_t faults_injected = 0;
 
   [[nodiscard]] stats::EmpiricalDistribution distribution() const {
     return stats::EmpiricalDistribution{oneway};
@@ -72,6 +75,9 @@ struct CollectiveResult {
   int procs_per_node = 0;
   stats::Histogram completion{1e-5};  ///< per-process completion times (s)
   std::uint64_t operations = 0;
+  std::uint64_t tcp_timeouts = 0;
+  std::uint64_t tcp_retransmits = 0;
+  std::uint64_t faults_injected = 0;
 };
 
 [[nodiscard]] CollectiveResult run_barrier(const Options& options);

@@ -15,6 +15,7 @@
 #pragma once
 
 #include "des/time.h"
+#include "net/fault.h"
 #include "net/units.h"
 
 namespace net {
@@ -116,6 +117,11 @@ struct ClusterParams {
                     des::from_micros(2.0)};
   /// Inter-switch stacking trunk, each direction.
   LinkParams trunk{Rate::gbit(2.1), des::from_micros(2.0), 256_KiB};
+
+  /// Packet-loss fault injection (fault.h). Disabled by default: the
+  /// lossless network is the calibrated Perseus baseline, and disabled
+  /// injection must leave every result bit-identical.
+  FaultParams fault{};
 
   [[nodiscard]] int switch_count() const noexcept {
     return (nodes + ports_per_switch - 1) / ports_per_switch;

@@ -34,6 +34,17 @@ std::string describe(const ClusterParams& params) {
   os << "  tcp:    rto " << des::to_millis(params.tcp.rto_initial)
      << " ms, window " << params.tcp.recv_window << " B\n";
   os << "  mpi:    eager threshold " << params.mpi.eager_threshold << " B\n";
+  if (params.fault.enabled()) {
+    os << "  fault:  loss " << params.fault.loss_rate;
+    if (params.fault.ge_p_enter > 0.0) {
+      os << ", burst enter " << params.fault.ge_p_enter << " exit "
+         << params.fault.ge_p_exit << " loss " << params.fault.ge_loss_bad;
+    }
+    if (!params.fault.down.empty()) {
+      os << ", " << params.fault.down.size() << " outage window(s)";
+    }
+    os << ", seed " << params.fault.seed << "\n";
+  }
   return os.str();
 }
 
@@ -101,6 +112,27 @@ ClusterParams parse_cluster(std::istream& is, ClusterParams base) {
       base.tcp.rto_min = base.tcp.rto_initial;
     } else if (key == "recv_window_kib") {
       base.tcp.recv_window = static_cast<Bytes>(value) * 1024;
+    } else if (key == "fault_loss_rate") {
+      base.fault.loss_rate = value;
+    } else if (key == "fault_burst_enter") {
+      base.fault.ge_p_enter = value;
+    } else if (key == "fault_burst_exit") {
+      base.fault.ge_p_exit = value;
+    } else if (key == "fault_burst_loss") {
+      base.fault.ge_loss_bad = value;
+    } else if (key == "fault_seed") {
+      base.fault.seed = static_cast<std::uint64_t>(value);
+    } else if (key == "fault_down_start_ms") {
+      base.fault.down.push_back(
+          DownWindow{des::from_micros(value * 1e3), des::kNever});
+    } else if (key == "fault_down_end_ms") {
+      if (base.fault.down.empty()) {
+        throw std::runtime_error{"parse_cluster: line " +
+                                 std::to_string(lineno) +
+                                 ": fault_down_end_ms before any "
+                                 "fault_down_start_ms"};
+      }
+      base.fault.down.back().end = des::from_micros(value * 1e3);
     } else {
       throw std::runtime_error{"parse_cluster: line " + std::to_string(lineno) +
                                ": unknown key '" + key + "'"};
@@ -109,6 +141,14 @@ ClusterParams parse_cluster(std::istream& is, ClusterParams base) {
   if (base.nodes < 1) throw std::runtime_error{"parse_cluster: nodes < 1"};
   if (base.ports_per_switch < 1) {
     throw std::runtime_error{"parse_cluster: ports_per_switch < 1"};
+  }
+  const auto probability = [](double p) { return p >= 0.0 && p <= 1.0; };
+  if (!probability(base.fault.loss_rate) ||
+      !probability(base.fault.ge_p_enter) ||
+      !probability(base.fault.ge_p_exit) ||
+      !probability(base.fault.ge_loss_bad)) {
+    throw std::runtime_error{
+        "parse_cluster: fault probabilities must be in [0, 1]"};
   }
   return base;
 }

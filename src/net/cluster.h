@@ -24,6 +24,11 @@ namespace net {
 ///   eager_threshold_kib, send_overhead_us, recv_overhead_us,
 ///   copy_ns_per_byte, jitter_sigma, spike_prob, spike_mean_us,
 ///   rto_ms, recv_window_kib
+/// Fault-injection keys (fault.h):
+///   fault_loss_rate, fault_burst_enter, fault_burst_exit, fault_burst_loss,
+///   fault_seed, fault_down_start_ms, fault_down_end_ms
+/// Each fault_down_start_ms opens a new outage window (initially unbounded);
+/// a following fault_down_end_ms closes it.
 /// Throws std::runtime_error on malformed input or unknown keys.
 [[nodiscard]] ClusterParams parse_cluster(std::istream& is,
                                           ClusterParams base = {});

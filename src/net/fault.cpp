@@ -1,0 +1,44 @@
+#include "net/fault.h"
+
+#include <algorithm>
+
+namespace net {
+
+bool FaultModel::should_drop(des::SimTime now) noexcept {
+  ++inspected_;
+  bool drop = false;
+
+  // Deterministic schedule first: it must fire regardless of RNG draws.
+  if (!params_.drop_nth.empty() &&
+      std::find(params_.drop_nth.begin(), params_.drop_nth.end(),
+                inspected_) != params_.drop_nth.end()) {
+    drop = true;
+  }
+
+  for (const DownWindow& window : params_.down) {
+    if (now >= window.start && now < window.end) {
+      drop = true;
+      break;
+    }
+  }
+
+  // Advance the Gilbert–Elliott chain even when the packet is already
+  // doomed, so the burst process is a pure function of the packet sequence.
+  if (params_.ge_p_enter > 0.0) {
+    if (bad_) {
+      if (rng_.bernoulli(params_.ge_p_exit)) bad_ = false;
+    } else {
+      if (rng_.bernoulli(params_.ge_p_enter)) bad_ = true;
+    }
+    if (bad_ && rng_.bernoulli(params_.ge_loss_bad)) drop = true;
+  }
+
+  if (params_.loss_rate > 0.0 && rng_.bernoulli(params_.loss_rate)) {
+    drop = true;
+  }
+
+  if (drop) ++injected_;
+  return drop;
+}
+
+}  // namespace net

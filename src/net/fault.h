@@ -1,0 +1,105 @@
+// Seeded packet-loss fault injection for the simulated network.
+//
+// The paper attributes the ~200 ms outliers in the MPIBench distributions
+// (Figures 3/4) to TCP retransmission timeouts after loss on the Fast
+// Ethernet fabric. The base simulator only loses packets to queue overflow,
+// which requires saturating offered load; this module injects loss
+// directly so the retransmission tail can be reproduced — and stressed —
+// under controlled, reproducible conditions (Hunold & Carpen-Amarie's
+// prerequisite for credible benchmarking experiments).
+//
+// Three mechanisms, all composable and all driven by a per-link RNG that
+// is seeded deterministically from FaultParams::seed at network
+// construction, so a fixed seed gives bit-identical runs:
+//
+//   * i.i.d. Bernoulli loss with probability `loss_rate` per packet;
+//   * bursty loss via a two-state Gilbert–Elliott chain: each packet the
+//     link leaves the good state with probability `ge_p_enter` and the bad
+//     state with probability `ge_p_exit`; packets sent in the bad state are
+//     dropped with probability `ge_loss_bad`;
+//   * scheduled outages (`down` windows of virtual time) during which every
+//     packet on the link is lost — cable pulls, switch reboots;
+//   * a deterministic drop schedule (`drop_nth`) that kills exactly the
+//     Nth, Mth, ... packet crossing the link, used by tests to provoke a
+//     specific retransmission path without any randomness.
+//
+// A lost packet still consumes its serialisation time and queue space (it
+// died on the wire, not in the driver); it simply never arrives, so the
+// transport must recover it via duplicate ACKs or its RTO timer.
+//
+// When no mechanism is configured (`FaultParams::enabled()` is false) no
+// FaultModel is constructed at all: the lossless fast path is untouched and
+// results stay bit-identical to a build without this subsystem.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "des/time.h"
+#include "stats/rng.h"
+
+namespace net {
+
+/// One scheduled outage: the link loses every packet submitted in
+/// [start, end) of virtual time.
+struct DownWindow {
+  des::SimTime start = 0;
+  des::SimTime end = 0;
+};
+
+/// Fault-injection configuration, shared by every link in a cluster (each
+/// link still gets an independent RNG stream and chain state).
+struct FaultParams {
+  /// i.i.d. per-packet loss probability in [0, 1].
+  double loss_rate = 0.0;
+
+  // Gilbert–Elliott burst loss. Disabled while ge_p_enter == 0.
+  double ge_p_enter = 0.0;  ///< P(good -> bad) per packet
+  double ge_p_exit = 0.25;  ///< P(bad -> good) per packet
+  double ge_loss_bad = 1.0; ///< drop probability while in the bad state
+
+  /// Scheduled outage windows (virtual time), applied to every link.
+  std::vector<DownWindow> down;
+
+  /// Deterministic schedule: 1-based ordinals of packets to drop on each
+  /// link (every link counts its own traffic). Independent of the RNG.
+  std::vector<std::uint64_t> drop_nth;
+
+  /// Master seed; each link derives its own stream from this.
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return loss_rate > 0.0 || ge_p_enter > 0.0 || !down.empty() ||
+           !drop_nth.empty();
+  }
+};
+
+/// Per-link fault injector: owns the link's RNG stream, Gilbert–Elliott
+/// state and packet counter. Links consult it once per submitted packet.
+class FaultModel {
+ public:
+  /// `link_seed` must already be unique per link (Network mixes the master
+  /// seed with the link's construction ordinal).
+  FaultModel(const FaultParams& params, std::uint64_t link_seed)
+      : params_{params}, rng_{link_seed} {}
+
+  /// Decides the fate of the next packet submitted at virtual time `now`,
+  /// advancing the chain state and packet counter. True means "lose it".
+  [[nodiscard]] bool should_drop(des::SimTime now) noexcept;
+
+  /// Packets this model has dropped so far.
+  [[nodiscard]] std::uint64_t injected() const noexcept { return injected_; }
+  /// Packets this model has inspected so far.
+  [[nodiscard]] std::uint64_t inspected() const noexcept { return inspected_; }
+  /// True while the Gilbert–Elliott chain is in the bad (bursty) state.
+  [[nodiscard]] bool in_bad_state() const noexcept { return bad_; }
+
+ private:
+  FaultParams params_;
+  stats::Rng rng_;
+  bool bad_ = false;
+  std::uint64_t inspected_ = 0;
+  std::uint64_t injected_ = 0;
+};
+
+}  // namespace net

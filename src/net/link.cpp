@@ -25,6 +25,18 @@ void Link::submit(const Packet& packet, DeliverFn deliver, DropFn drop) {
   // far end one propagation latency later.
   engine_.schedule_at(busy_until_,
                       [this, bytes = packet.wire_bytes] { backlog_ -= bytes; });
+
+  // Injected wire loss: the packet was transmitted (it paid for its queue
+  // slot and serialisation above) but never arrives.
+  if (fault_ && fault_->should_drop(engine_.now())) {
+    ++lost_;
+    engine_.schedule_at(busy_until_ + params_.latency,
+                        [packet, drop = std::move(drop)] {
+                          if (drop) drop(packet);
+                        });
+    return;
+  }
+
   engine_.schedule_at(busy_until_ + params_.latency,
                       [packet, deliver = std::move(deliver)] {
                         if (deliver) deliver(packet);
@@ -34,6 +46,7 @@ void Link::submit(const Packet& packet, DeliverFn deliver, DropFn drop) {
 void Link::reset_stats() noexcept {
   sent_ = 0;
   dropped_ = 0;
+  lost_ = 0;
   bytes_sent_ = 0;
   peak_backlog_ = backlog_;
   busy_time_ = 0;

@@ -10,11 +10,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 
 #include "des/engine.h"
 #include "net/calibration.h"
+#include "net/fault.h"
 #include "net/packet.h"
 
 namespace net {
@@ -32,8 +34,19 @@ class Link {
 
   /// Submits a packet. If the queue has room it will be delivered after
   /// queueing + serialisation + propagation via `deliver`; otherwise `drop`
-  /// is invoked immediately (tail drop).
+  /// is invoked immediately (tail drop). An installed fault model may lose
+  /// the packet on the wire instead: it then still consumes queue space and
+  /// serialisation time, but `drop` fires (at the would-be arrival instant)
+  /// in place of `deliver`.
   void submit(const Packet& packet, DeliverFn deliver, DropFn drop);
+
+  /// Installs (or clears, with nullptr) the fault injector for this link.
+  void install_fault_model(std::unique_ptr<FaultModel> fault) noexcept {
+    fault_ = std::move(fault);
+  }
+  [[nodiscard]] const FaultModel* fault_model() const noexcept {
+    return fault_.get();
+  }
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] const LinkParams& params() const noexcept { return params_; }
@@ -44,6 +57,8 @@ class Link {
   // Lifetime statistics.
   [[nodiscard]] std::uint64_t packets_sent() const noexcept { return sent_; }
   [[nodiscard]] std::uint64_t packets_dropped() const noexcept { return dropped_; }
+  /// Packets lost to injected faults (disjoint from queue-overflow drops).
+  [[nodiscard]] std::uint64_t packets_lost() const noexcept { return lost_; }
   [[nodiscard]] Bytes bytes_sent() const noexcept { return bytes_sent_; }
   [[nodiscard]] Bytes peak_backlog() const noexcept { return peak_backlog_; }
   /// Total time the transmitter was serialising, for utilisation reports.
@@ -56,11 +71,14 @@ class Link {
   std::string name_;
   LinkParams params_;
 
+  std::unique_ptr<FaultModel> fault_;
+
   des::SimTime busy_until_ = 0;
   Bytes backlog_ = 0;
   Bytes peak_backlog_ = 0;
   std::uint64_t sent_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t lost_ = 0;
   Bytes bytes_sent_ = 0;
   des::SimTime busy_time_ = 0;
 };

@@ -24,6 +24,22 @@ Network::Network(des::Engine& engine, ClusterParams params)
     trunk_.push_back(std::make_unique<Link>(
         engine_, "trunk." + std::to_string(s), params_.trunk));
   }
+
+  // Fault injection: every link gets an independent RNG stream drawn from
+  // the master seed in construction order, which is deterministic, so a
+  // fixed seed reproduces the exact same loss pattern. With injection
+  // disabled no model is installed and the fast path is untouched.
+  if (params_.fault.enabled()) {
+    stats::Rng seeder{params_.fault.seed};
+    const auto install = [&](const std::unique_ptr<Link>& link) {
+      link->install_fault_model(
+          std::make_unique<FaultModel>(params_.fault, seeder()));
+    };
+    for (const auto& link : nic_tx_) install(link);
+    for (const auto& link : nic_rx_) install(link);
+    for (const auto& link : fabric_) install(link);
+    for (const auto& link : trunk_) install(link);
+  }
 }
 
 Link& Network::trunk(int lower_switch) { return *trunk_.at(lower_switch); }
@@ -97,13 +113,23 @@ std::uint64_t Network::total_drops() const noexcept {
   return drops;
 }
 
+std::uint64_t Network::total_faults() const noexcept {
+  std::uint64_t lost = 0;
+  for (const auto& link : nic_tx_) lost += link->packets_lost();
+  for (const auto& link : nic_rx_) lost += link->packets_lost();
+  for (const auto& link : fabric_) lost += link->packets_lost();
+  for (const auto& link : trunk_) lost += link->packets_lost();
+  return lost;
+}
+
 std::string Network::stats_csv() const {
   std::ostringstream os;
-  os << "link,packets,bytes,drops,peak_backlog,busy_us\n";
+  os << "link,packets,bytes,drops,lost,peak_backlog,busy_us\n";
   const auto row = [&os](const Link& link) {
     os << link.name() << ',' << link.packets_sent() << ',' << link.bytes_sent()
-       << ',' << link.packets_dropped() << ',' << link.peak_backlog() << ','
-       << des::to_micros(link.busy_time()) << '\n';
+       << ',' << link.packets_dropped() << ',' << link.packets_lost() << ','
+       << link.peak_backlog() << ',' << des::to_micros(link.busy_time())
+       << '\n';
   };
   for (const auto& link : nic_tx_) row(*link);
   for (const auto& link : nic_rx_) row(*link);

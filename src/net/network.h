@@ -45,6 +45,9 @@ class Network {
   [[nodiscard]] Link& trunk(int lower_switch);
 
   [[nodiscard]] std::uint64_t total_drops() const noexcept;
+  /// Packets lost to injected faults across all links (0 when fault
+  /// injection is disabled).
+  [[nodiscard]] std::uint64_t total_faults() const noexcept;
   [[nodiscard]] std::string stats_csv() const;
   void reset_stats() noexcept;
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 namespace net {
 
@@ -135,6 +137,8 @@ void Transport::on_ack(Connection& conn, const Packet& packet) {
       const Bytes len = std::min(static_cast<Bytes>(wire_.mss()),
                                  conn.snd_nxt - conn.snd_una);
       ++retransmits_;
+      trace_event(conn, "partial_ack_retransmit seq=" +
+                            std::to_string(conn.snd_una));
       transmit_segment(conn, conn.snd_una, len);
     }
     if (!conn.in_recovery) {
@@ -164,6 +168,8 @@ void Transport::on_ack(Connection& conn, const Packet& packet) {
                                  conn.snd_nxt - conn.snd_una);
       ++retransmits_;
       ++fast_retransmits_;
+      trace_event(conn,
+                  "fast_retransmit seq=" + std::to_string(conn.snd_una));
       transmit_segment(conn, conn.snd_una, len);
     }
   }
@@ -181,10 +187,19 @@ void Transport::on_rto(Connection& conn) {
   conn.dupacks = 0;
   conn.in_recovery = false;
   conn.rto = std::min(conn.rto * 2, tcp_.rto_max);  // exponential backoff
+  trace_event(conn, "rto_retransmit seq=" + std::to_string(conn.snd_una) +
+                        " next_rto_ms=" +
+                        std::to_string(des::to_millis(conn.rto)));
   const Bytes len = std::min(static_cast<Bytes>(wire_.mss()),
                              conn.snd_nxt - conn.snd_una);
   transmit_segment(conn, conn.snd_una, len);
   arm_rto(conn);
+}
+
+void Transport::trace_event(const Connection& conn, std::string detail) {
+  if (tracer_ == nullptr || !tracer_->enabled()) return;
+  tracer_->record(engine_.now(), trace::Category::kTransport,
+                  static_cast<std::int64_t>(conn.id), std::move(detail));
 }
 
 void Transport::arm_rto(Connection& conn) {

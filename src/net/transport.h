@@ -22,6 +22,7 @@
 
 #include "des/engine.h"
 #include "net/network.h"
+#include "trace/trace.h"
 
 namespace net {
 
@@ -33,6 +34,13 @@ class Transport {
 
   Transport(const Transport&) = delete;
   Transport& operator=(const Transport&) = delete;
+
+  /// Attaches a tracer (or detaches, with nullptr). While attached and
+  /// enabled, every retransmission-related event — RTO firings with their
+  /// backed-off interval, fast retransmits, NewReno partial-ACK resends —
+  /// is recorded under Category::kTransport with the connection id as
+  /// subject, so retransmission forensics can be replayed offline.
+  void set_tracer(trace::Tracer* tracer) noexcept { tracer_ = tracer; }
 
   /// Queues `bytes` (> 0) on stream `stream` from src to dst. A stream is
   /// one TCP-lite connection; MPICH 1.2 (ch_p4) opened one socket per
@@ -90,11 +98,13 @@ class Transport {
   void arm_rto(Connection& conn);
   void disarm_rto(Connection& conn);
   [[nodiscard]] Bytes window_bytes(const Connection& conn) const noexcept;
+  void trace_event(const Connection& conn, std::string detail);
 
   des::Engine& engine_;
   Network& network_;
   const TcpParams tcp_;
   const WireFormat wire_;
+  trace::Tracer* tracer_ = nullptr;
 
   std::map<std::uint64_t, Connection> connections_;
   std::uint64_t next_packet_id_ = 1;

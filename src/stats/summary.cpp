@@ -42,6 +42,20 @@ double Summary::sem() const noexcept {
   return n_ > 1 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
 }
 
+TailSummary tail_summary(std::span<const double> xs) {
+  TailSummary tail;
+  if (xs.empty()) return tail;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  tail.count = sorted.size();
+  tail.mean = mean(sorted);
+  tail.median = quantile_sorted(sorted, 0.5);
+  tail.p99 = quantile_sorted(sorted, 0.99);
+  tail.p999 = quantile_sorted(sorted, 0.999);
+  tail.max = sorted.back();
+  return tail;
+}
+
 double quantile(std::span<const double> xs, double q) {
   std::vector<double> copy(xs.begin(), xs.end());
   std::sort(copy.begin(), copy.end());

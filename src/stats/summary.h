@@ -35,6 +35,22 @@ class Summary {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
+/// Tail-focused summary of a sample: the centre statistics the paper's
+/// single-point models use (mean/median) alongside the extreme quantiles
+/// that expose retransmission-timeout modes (p99/p99.9/max, Fig. 3/4).
+struct TailSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a TailSummary with one sort of a copy of `xs`. Returns a
+/// zero-filled summary for an empty sample.
+[[nodiscard]] TailSummary tail_summary(std::span<const double> xs);
+
 /// Quantile of a sample by linear interpolation between order statistics
 /// (type-7, the R/NumPy default). q in [0, 1]. The input need not be sorted.
 [[nodiscard]] double quantile(std::span<const double> xs, double q);

@@ -1,12 +1,20 @@
 // Lightweight event tracing for the simulator.
 //
-// Disabled tracers cost one branch per record call. Records carry the
-// virtual timestamp, a category, a subject id (rank, node, link...) and a
-// free-form detail string; sinks can filter by category and dump CSV.
+// Disabled tracers cost one (atomic) branch per record call. Records carry
+// the virtual timestamp, a category, a subject id (rank, node, link...) and
+// a free-form detail string; sinks can filter by category and dump CSV.
+//
+// Thread safety: record(), count(), size(), clear() and dump_csv() may be
+// called concurrently — the Monte-Carlo prediction pool records replication
+// events from its workers. records() returns an unguarded reference and
+// must only be used once recording threads have quiesced (e.g. after
+// parallel_for / predict() returns).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -35,23 +43,31 @@ struct Record {
 class Tracer {
  public:
   /// Tracers start disabled; recording is a no-op until enabled.
-  void enable(bool on = true) noexcept { enabled_ = on; }
-  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  void enable(bool on = true) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
 
   void record(std::int64_t time_ns, Category category, std::int64_t subject,
               std::string detail);
 
+  /// Unsynchronised view of the records; callers must ensure no thread is
+  /// recording concurrently (recording threads joined or otherwise done).
   [[nodiscard]] const std::vector<Record>& records() const noexcept {
     return records_;
   }
-  [[nodiscard]] std::size_t count(Category category) const noexcept;
-  void clear() noexcept { records_.clear(); }
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t count(Category category) const;
+  void clear();
 
   /// CSV rows "time_ns,category,subject,detail".
   void dump_csv(std::ostream& os) const;
 
  private:
-  bool enabled_ = false;
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
   std::vector<Record> records_;
 };
 

@@ -488,4 +488,50 @@ TEST(KsTest, ThrowsOnEmpty) {
   EXPECT_THROW((void)stats::ks_two_sample({}, xs), std::invalid_argument);
 }
 
+TEST(TailSummary, EmptySampleIsZeroFilled) {
+  const auto t = stats::tail_summary({});
+  EXPECT_EQ(t.count, 0u);
+  EXPECT_EQ(t.mean, 0.0);
+  EXPECT_EQ(t.median, 0.0);
+  EXPECT_EQ(t.p99, 0.0);
+  EXPECT_EQ(t.p999, 0.0);
+  EXPECT_EQ(t.max, 0.0);
+}
+
+TEST(TailSummary, SingleValueEverywhere) {
+  const std::vector<double> xs{3.5};
+  const auto t = stats::tail_summary(xs);
+  EXPECT_EQ(t.count, 1u);
+  EXPECT_DOUBLE_EQ(t.mean, 3.5);
+  EXPECT_DOUBLE_EQ(t.median, 3.5);
+  EXPECT_DOUBLE_EQ(t.p99, 3.5);
+  EXPECT_DOUBLE_EQ(t.max, 3.5);
+}
+
+TEST(TailSummary, HeavyTailShowsUpInHighQuantilesOnly) {
+  // 999 fast samples plus one 200 ms retransmission outlier: the median
+  // stays at the bulk, p99.9 and max catch the spike.
+  std::vector<double> xs(999, 100e-6);
+  xs.push_back(200e-3);
+  const auto t = stats::tail_summary(xs);
+  EXPECT_EQ(t.count, 1000u);
+  EXPECT_DOUBLE_EQ(t.median, 100e-6);
+  EXPECT_DOUBLE_EQ(t.p99, 100e-6);
+  // Type-7 interpolation between the 999th and 1000th order statistics
+  // pulls p99.9 part-way toward the outlier — well above the bulk.
+  EXPECT_GT(t.p999, 2e-4);
+  EXPECT_DOUBLE_EQ(t.max, 200e-3);
+  EXPECT_NEAR(t.mean, (999 * 100e-6 + 200e-3) / 1000.0, 1e-12);
+}
+
+TEST(TailSummary, MatchesQuantileOnSortedInput) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 1000; ++i) xs.push_back(static_cast<double>(i));
+  const auto t = stats::tail_summary(xs);
+  EXPECT_DOUBLE_EQ(t.median, stats::quantile(xs, 0.5));
+  EXPECT_DOUBLE_EQ(t.p99, stats::quantile(xs, 0.99));
+  EXPECT_DOUBLE_EQ(t.p999, stats::quantile(xs, 0.999));
+  EXPECT_DOUBLE_EQ(t.max, 1000.0);
+}
+
 }  // namespace

@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "trace/trace.h"
 
@@ -41,6 +43,28 @@ TEST(Trace, ClearResets) {
   tracer.record(1, trace::Category::kProcess, 0, "a");
   tracer.clear();
   EXPECT_TRUE(tracer.records().empty());
+}
+
+TEST(Trace, ConcurrentRecordingLosesNothing) {
+  // The pevpm prediction pool records from worker threads; run under TSan
+  // in CI, this test also proves the locking is race-free.
+  trace::Tracer tracer;
+  tracer.enable();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&tracer, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        tracer.record(i, trace::Category::kPevpm, t, "rep");
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const std::size_t expected = kThreads * kPerThread;
+  EXPECT_EQ(tracer.size(), expected);
+  EXPECT_EQ(tracer.count(trace::Category::kPevpm), expected);
 }
 
 TEST(Trace, CategoryNames) {

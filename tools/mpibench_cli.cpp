@@ -15,6 +15,14 @@
 //     --histograms       print full per-size histograms
 //     --cluster FILE     cluster description overrides ("key = value")
 //     --seed S
+//
+//   Fault injection (see src/net/fault.h). With any of these the summary
+//   grows tail quantiles (p99.9) and retransmission/fault counters:
+//     --loss-rate P      i.i.d. per-packet loss probability on every link
+//     --fault-profile S  burst:ENTER,EXIT,LOSS (Gilbert-Elliott) or
+//                        down:START_MS,END_MS (link outage; repeatable)
+//     --fault-seed S     fault RNG master seed (default: --seed)
+//     --rto-ms R         TCP retransmission-timeout floor in milliseconds
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -39,6 +47,12 @@ struct Args {
   std::string cluster_file;
   bool histograms = false;
   std::uint64_t seed = 1;
+
+  double loss_rate = -1.0;  ///< < 0 means "not set"
+  std::vector<std::string> fault_profiles;
+  std::uint64_t fault_seed = 0;
+  bool fault_seed_set = false;
+  double rto_ms = -1.0;     ///< < 0 means "not set"
 };
 
 std::vector<net::Bytes> parse_sizes(const std::string& list) {
@@ -56,7 +70,10 @@ std::vector<net::Bytes> parse_sizes(const std::string& list) {
                "usage: %s [--nodes N] [--ppn P] [--sizes a,b,c] [--reps R]\n"
                "          [--op isend|barrier|bcast|alltoall] [--bin-us W]\n"
                "          [--table FILE] [--histograms] [--cluster FILE]\n"
-               "          [--seed S]\n",
+               "          [--seed S]\n"
+               "          [--loss-rate P] [--fault-profile burst:E,X,L]\n"
+               "          [--fault-profile down:START_MS,END_MS]\n"
+               "          [--fault-seed S] [--rto-ms R]\n",
                argv0);
   std::exit(2);
 }
@@ -89,11 +106,43 @@ Args parse_args(int argc, char** argv) {
       args.histograms = true;
     } else if (flag == "--seed") {
       args.seed = std::stoull(value());
+    } else if (flag == "--loss-rate") {
+      args.loss_rate = std::stod(value());
+    } else if (flag == "--fault-profile") {
+      args.fault_profiles.push_back(value());
+    } else if (flag == "--fault-seed") {
+      args.fault_seed = std::stoull(value());
+      args.fault_seed_set = true;
+    } else if (flag == "--rto-ms") {
+      args.rto_ms = std::stod(value());
     } else {
       usage(argv[0]);
     }
   }
   return args;
+}
+
+/// Applies a --fault-profile spec ("burst:E,X,L" or "down:START_MS,END_MS")
+/// onto `fault`. Exits with usage() on a malformed spec.
+void apply_fault_profile(const std::string& spec, net::FaultParams& fault,
+                         const char* argv0) {
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos) usage(argv0);
+  const std::string kind = spec.substr(0, colon);
+  std::vector<double> fields;
+  std::stringstream ss{spec.substr(colon + 1)};
+  std::string item;
+  while (std::getline(ss, item, ',')) fields.push_back(std::stod(item));
+  if (kind == "burst" && fields.size() == 3) {
+    fault.ge_p_enter = fields[0];
+    fault.ge_p_exit = fields[1];
+    fault.ge_loss_bad = fields[2];
+  } else if (kind == "down" && fields.size() == 2) {
+    fault.down.push_back(net::DownWindow{des::from_micros(fields[0] * 1e3),
+                                         des::from_micros(fields[1] * 1e3)});
+  } else {
+    usage(argv0);
+  }
 }
 
 }  // namespace
@@ -119,25 +168,67 @@ int main(int argc, char** argv) {
   opt.bin_width_us = args.bin_us;
   opt.seed = args.seed;
 
+  if (args.loss_rate >= 0.0) opt.cluster.fault.loss_rate = args.loss_rate;
+  for (const std::string& spec : args.fault_profiles) {
+    apply_fault_profile(spec, opt.cluster.fault, argv[0]);
+  }
+  if (args.rto_ms >= 0.0) {
+    opt.cluster.tcp.rto_initial = des::from_micros(args.rto_ms * 1e3);
+    opt.cluster.tcp.rto_min = opt.cluster.tcp.rto_initial;
+  }
+  if (opt.cluster.fault.enabled()) {
+    // The fault RNG rides the benchmark seed unless pinned explicitly, so
+    // "--seed S" reproduces the whole experiment, loss pattern included.
+    opt.cluster.fault.seed = args.fault_seed_set ? args.fault_seed : args.seed;
+  }
+  const bool faults = opt.cluster.fault.enabled();
+
   std::printf("%s", net::describe(opt.cluster).c_str());
   std::printf("benchmarking %s, %dx%d, %d repetitions\n\n", args.op.c_str(),
               args.nodes, args.ppn, args.reps);
 
   if (args.op == "isend") {
-    std::printf("%10s %10s %10s %10s %10s %8s\n", "bytes", "min_us",
-                "avg_us", "p99_us", "max_us", "mbit");
+    // The fault-mode table adds the tail quantiles and retransmission
+    // counters; the default stays bit-identical to a lossless build.
+    if (faults) {
+      std::printf("%10s %10s %10s %10s %10s %10s %10s %8s %8s %8s\n", "bytes",
+                  "min_us", "avg_us", "med_us", "p99_us", "p999_us", "max_us",
+                  "mbit", "retx", "faults");
+    } else {
+      std::printf("%10s %10s %10s %10s %10s %8s\n", "bytes", "min_us",
+                  "avg_us", "p99_us", "max_us", "mbit");
+    }
     for (const net::Bytes size : args.sizes) {
       const auto result = mpibench::run_isend(opt, size);
       const auto& s = result.oneway.summary();
-      std::printf("%10llu %10.1f %10.1f %10.1f %10.1f %8.1f\n",
-                  static_cast<unsigned long long>(size), s.min() * 1e6,
-                  s.mean() * 1e6,
-                  result.distribution().quantile(0.99) * 1e6, s.max() * 1e6,
-                  size > 0 ? static_cast<double>(size) * 8 / s.mean() / 1e6
-                           : 0.0);
+      const auto dist = result.distribution();
+      if (faults) {
+        std::printf(
+            "%10llu %10.1f %10.1f %10.1f %10.1f %10.1f %10.1f %8.1f %8llu "
+            "%8llu\n",
+            static_cast<unsigned long long>(size), s.min() * 1e6,
+            s.mean() * 1e6, dist.quantile(0.5) * 1e6,
+            dist.quantile(0.99) * 1e6, dist.quantile(0.999) * 1e6,
+            s.max() * 1e6,
+            size > 0 ? static_cast<double>(size) * 8 / s.mean() / 1e6 : 0.0,
+            static_cast<unsigned long long>(result.tcp_retransmits),
+            static_cast<unsigned long long>(result.faults_injected));
+      } else {
+        std::printf("%10llu %10.1f %10.1f %10.1f %10.1f %8.1f\n",
+                    static_cast<unsigned long long>(size), s.min() * 1e6,
+                    s.mean() * 1e6, dist.quantile(0.99) * 1e6, s.max() * 1e6,
+                    size > 0 ? static_cast<double>(size) * 8 / s.mean() / 1e6
+                             : 0.0);
+      }
       if (args.histograms) {
         std::printf("%s\n", result.oneway.to_csv().c_str());
       }
+    }
+    if (faults) {
+      std::printf("\n# fault injection active: counters above are per-size "
+                  "totals (retx = TCP retransmits,\n# faults = packets lost "
+                  "to injection); timeouts surface as ~rto_ms modes in the "
+                  "tail.\n");
     }
   } else if (args.op == "barrier" || args.op == "bcast" ||
              args.op == "alltoall") {
@@ -156,6 +247,12 @@ int main(int argc, char** argv) {
       std::printf("%10llu %10.1f %10.1f %10.1f\n",
                   static_cast<unsigned long long>(size), s.min() * 1e6,
                   s.mean() * 1e6, s.max() * 1e6);
+      if (faults) {
+        std::printf("# tcp retransmits %llu, timeouts %llu, faults %llu\n",
+                    static_cast<unsigned long long>(result.tcp_retransmits),
+                    static_cast<unsigned long long>(result.tcp_timeouts),
+                    static_cast<unsigned long long>(result.faults_injected));
+      }
       if (args.histograms) {
         std::printf("%s\n", result.completion.to_csv().c_str());
       }

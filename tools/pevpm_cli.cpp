@@ -14,6 +14,9 @@
 //                        hardware thread; 1 = serial). Results for a fixed
 //                        seed are identical at any thread count.
 //     --set name=value   bind/override a model parameter (repeatable)
+//     --seed S           Monte-Carlo master seed (default 1)
+//     --trace FILE       record per-replication events (thread-safe across
+//                        the worker pool) and dump them as CSV to FILE
 //     --losses           print the top blocking-loss directives
 //     --dump             print the parsed model and exit
 #include <cstdio>
@@ -26,6 +29,7 @@
 #include "core/parse.h"
 #include "core/predict.h"
 #include "mpibench/table.h"
+#include "trace/trace.h"
 
 namespace {
 
@@ -35,6 +39,7 @@ namespace {
                "          [--mode distribution|average|minimum]\n"
                "          [--contention scoreboard|fixed:<level>]\n"
                "          [--reps R] [--threads N] [--set name=value]...\n"
+               "          [--seed S] [--trace FILE]\n"
                "          [--losses]\n"
                "          [--dump]\n",
                argv0);
@@ -57,9 +62,11 @@ std::string slurp(const std::string& path) {
 int main(int argc, char** argv) {
   std::string model_file;
   std::string table_file;
+  std::string trace_file;
   std::vector<int> proc_counts;
   pevpm::PredictOptions opts;
   pevpm::Bindings overrides;
+  trace::Tracer tracer;
   bool losses = false;
   bool dump = false;
 
@@ -109,6 +116,10 @@ int main(int argc, char** argv) {
       const auto eq = kv.find('=');
       if (eq == std::string::npos) usage(argv[0]);
       overrides[kv.substr(0, eq)] = std::stod(kv.substr(eq + 1));
+    } else if (flag == "--seed") {
+      opts.seed = std::stoull(value());
+    } else if (flag == "--trace") {
+      trace_file = value();
     } else if (flag == "--losses") {
       losses = true;
     } else if (flag == "--dump") {
@@ -142,6 +153,11 @@ int main(int argc, char** argv) {
               model.name.c_str(), model.node_count, table_file.c_str(),
               table.size());
 
+  if (!trace_file.empty()) {
+    tracer.enable();
+    opts.tracer = &tracer;
+  }
+
   std::printf("%8s %14s %14s %10s %8s\n", "procs", "predicted_s", "sem_s",
               "messages", "status");
   for (const int procs : proc_counts) {
@@ -166,6 +182,17 @@ int main(int argc, char** argv) {
                     loss);
       }
     }
+  }
+
+  if (!trace_file.empty()) {
+    std::ofstream trace_out{trace_file};
+    if (!trace_out) {
+      std::fprintf(stderr, "cannot write %s\n", trace_file.c_str());
+      return 1;
+    }
+    tracer.dump_csv(trace_out);
+    std::printf("\nwrote %zu trace records to %s\n", tracer.size(),
+                trace_file.c_str());
   }
   return 0;
 }
