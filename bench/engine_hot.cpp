@@ -1,0 +1,437 @@
+// engine_hot — hot-path microbenchmark for the discrete-event core.
+//
+// Measures, on the post-overhaul engine (des::Engine + SmallFn slots +
+// route-cached Network):
+//
+//   * events/sec on a representative event mix (timer chains with
+//     packet-sized captures, immediate wake-ups, and cancellations),
+//   * the same mix on an embedded replica of the pre-overhaul engine
+//     (std::priority_queue + dual hash sets + std::function), giving a
+//     live speedup ratio,
+//   * packets/sec and allocations/packet through the full Network
+//     forwarding path (route cache + transit pool + TCP-sized frames),
+//
+// with heap allocations counted by instrumented global operator new. The
+// result is printed as JSON (and written to PEVPM_BENCH_JSON when set).
+//
+// Usage:
+//   engine_hot [--check BASELINE.json]
+//
+// With --check, current throughput must be at least 80% of the committed
+// baseline and allocation rates must not exceed baseline + 0.05; any miss
+// prints the offending metric and exits 1 (the CI perf-smoke gate).
+// PEVPM_BENCH_QUICK=1 scales iteration counts down ~10x.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <new>
+#include <queue>
+#include <sstream>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "bench_util.h"
+#include "des/engine.h"
+#include "net/cluster.h"
+#include "net/network.h"
+#include "net/packet.h"
+
+// ---------------------------------------------------------------------------
+// Instrumented allocator: every operator-new call site in the process is
+// counted, so allocs/event is exact rather than sampled.
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace refdes {
+
+// Faithful replica of the pre-overhaul engine (the seed implementation):
+// binary priority_queue of events owning std::function callbacks, with
+// cancellation tracked in two hash sets. Kept here so the speedup the
+// overhaul bought is measured live on this machine, not quoted.
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+  struct EventId {
+    std::uint64_t seq = 0;
+    [[nodiscard]] bool valid() const noexcept { return seq != 0; }
+  };
+
+  Engine() = default;
+  [[nodiscard]] des::SimTime now() const noexcept { return now_; }
+
+  EventId schedule_at(des::SimTime t, Callback fn, int priority = 0) {
+    const std::uint64_t seq = next_seq_++;
+    queue_.push(Event{t, priority, seq, std::move(fn)});
+    live_.insert(seq);
+    return EventId{seq};
+  }
+  EventId schedule_in(des::SimTime dt, Callback fn, int priority = 0) {
+    return schedule_at(now_ + dt, std::move(fn), priority);
+  }
+  bool cancel(EventId id) {
+    if (!id.valid() || live_.count(id.seq) == 0) return false;
+    return cancelled_.insert(id.seq).second;
+  }
+  bool step() {
+    while (!queue_.empty()) {
+      Event event;
+      if (!pop_head(event)) continue;
+      now_ = event.time;
+      ++processed_;
+      event.fn();
+      return true;
+    }
+    return false;
+  }
+  void run() {
+    while (step()) {
+    }
+  }
+  [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
+
+ private:
+  struct Event {
+    des::SimTime time = 0;
+    int priority = 0;
+    std::uint64_t seq = 0;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.seq > b.seq;
+    }
+  };
+  bool pop_head(Event& out) {
+    Event event = queue_.top();
+    queue_.pop();
+    live_.erase(event.seq);
+    if (const auto it = cancelled_.find(event.seq); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      return false;
+    }
+    out = std::move(event);
+    return true;
+  }
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<std::uint64_t> live_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  des::SimTime now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace refdes
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Packet-sized payload carried by the chain events, mimicking what a link
+/// arrival event carries (a net::Packet plus its delivery callback). The
+/// old engine heap-allocates every such callback; the new one stores it in
+/// the event slot.
+struct Payload {
+  std::uint64_t words[6] = {1, 2, 3, 4, 5, 6};
+};
+
+/// The representative mix, templated over the engine type: `chains`
+/// self-rescheduling timer chains at staggered deterministic delays. Each
+/// firing schedules its successor (with a Payload capture), an immediate
+/// zero-delay wake-up (the process hand-off pattern), and on every fourth
+/// firing a long-delay timer that the next firing cancels (the TCP
+/// retransmission-timer pattern).
+template <typename EngineT>
+struct MixState {
+  EngineT& engine;
+  std::uint64_t lcg;
+  std::uint64_t budget;
+  typename EngineT::EventId timer{};
+  std::uint64_t fired = 0;
+
+  std::uint64_t next_rand() {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    return lcg >> 33;
+  }
+
+  void arm() {
+    const des::SimTime dt = 1 + static_cast<des::SimTime>(next_rand() & 1023);
+    Payload payload;
+    engine.schedule_in(dt, [this, payload] {
+      (void)payload;
+      if (timer.valid()) {
+        engine.cancel(timer);
+        timer = {};
+      }
+      engine.schedule_in(0, [] {});
+      ++fired;
+      if ((fired & 3) == 0) {
+        timer = engine.schedule_in(100000, [] {});
+      }
+      if (--budget > 0) arm();
+    });
+  }
+};
+
+struct MixResult {
+  double events_per_sec = 0;
+  double allocs_per_event = 0;
+};
+
+template <typename EngineT>
+MixResult run_mix(std::uint64_t events_per_chain, int chains) {
+  EngineT engine;
+  std::vector<MixState<EngineT>> states;
+  states.reserve(chains);
+  for (int c = 0; c < chains; ++c) {
+    states.push_back(MixState<EngineT>{
+        engine, 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(c),
+        events_per_chain});
+  }
+  // Warm the pools/queues so steady-state allocation is what gets counted.
+  for (auto& s : states) s.arm();
+  engine.run();
+  for (auto& s : states) {
+    s.budget = events_per_chain;
+    s.arm();
+  }
+  const std::uint64_t processed0 = engine.processed();
+  const std::uint64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
+  const auto t0 = Clock::now();
+  engine.run();
+  const double elapsed = seconds_since(t0);
+  const std::uint64_t events = engine.processed() - processed0;
+  const std::uint64_t allocs =
+      g_allocs.load(std::memory_order_relaxed) - allocs0;
+  MixResult result;
+  result.events_per_sec = static_cast<double>(events) / elapsed;
+  result.allocs_per_event =
+      static_cast<double>(allocs) / static_cast<double>(events);
+  return result;
+}
+
+struct ForwardResult {
+  double packets_per_sec = 0;
+  double allocs_per_packet = 0;
+  double events_per_sec = 0;
+};
+
+/// End-to-end forwarding: ping-pong trains across the switch chain of a
+/// 16-node Perseus cluster, exercising the route cache, the transit pool
+/// and the per-hop switch-latency events exactly as TCP segments do.
+/// One ping-pong train bouncing a frame between a node pair. The delivery
+/// callback captures a single Train* so the driver itself stays inside
+/// std::function's small-object buffer — every allocation counted below
+/// comes from the stack under test, not the harness.
+struct Train {
+  net::Network* network;
+  std::uint64_t* remaining;
+  std::uint64_t* delivered;
+  int src;
+  int dst;
+
+  void bounce() {
+    if (*remaining == 0) return;
+    --*remaining;
+    net::Packet packet;
+    packet.src_node = src;
+    packet.dst_node = dst;
+    packet.wire_bytes = 1500;
+    network->send(
+        packet,
+        [this](const net::Packet&) {
+          ++*delivered;
+          std::swap(src, dst);
+          bounce();
+        },
+        nullptr);
+  }
+};
+
+ForwardResult run_forwarding(std::uint64_t packets) {
+  des::Engine engine;
+  net::Network network{engine, net::perseus(16)};
+  constexpr int kTrains = 32;
+  std::uint64_t remaining = packets < 2000 ? packets : 2000;
+  std::uint64_t delivered = 0;
+
+  // Pairs span switch boundaries so routes have trunk hops.
+  std::vector<Train> trains;
+  trains.reserve(kTrains);
+  for (int t = 0; t < kTrains; ++t) {
+    trains.push_back(Train{&network, &remaining, &delivered, t % 8,
+                           8 + (t % 8)});
+  }
+  // Warm-up pass fills the route cache and grows the pools.
+  for (Train& train : trains) train.bounce();
+  engine.run();
+
+  remaining = packets;
+  delivered = 0;
+  const std::uint64_t processed0 = engine.processed();
+  const std::uint64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
+  const auto t0 = Clock::now();
+  for (Train& train : trains) train.bounce();
+  engine.run();
+  const double elapsed = seconds_since(t0);
+  const std::uint64_t allocs =
+      g_allocs.load(std::memory_order_relaxed) - allocs0;
+  ForwardResult result;
+  result.packets_per_sec = static_cast<double>(delivered) / elapsed;
+  result.allocs_per_packet =
+      static_cast<double>(allocs) / static_cast<double>(delivered);
+  result.events_per_sec =
+      static_cast<double>(engine.processed() - processed0) / elapsed;
+  return result;
+}
+
+/// Minimal lookup of `"key": <number>` in a flat JSON document. Good
+/// enough for the baseline files this benchmark writes itself.
+bool json_number(const std::string& doc, const std::string& key,
+                 double& out) {
+  const std::string needle = "\"" + key + "\"";
+  const auto pos = doc.find(needle);
+  if (pos == std::string::npos) return false;
+  const auto colon = doc.find(':', pos + needle.size());
+  if (colon == std::string::npos) return false;
+  out = std::strtod(doc.c_str() + colon + 1, nullptr);
+  return true;
+}
+
+struct Results {
+  MixResult mix;
+  MixResult ref_mix;
+  ForwardResult forward;
+};
+
+std::string to_json(const Results& r) {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\n"
+      "  \"schema\": \"pevpm-engine-hot-v1\",\n"
+      "  \"engine_events_per_sec\": %.0f,\n"
+      "  \"engine_allocs_per_event\": %.4f,\n"
+      "  \"reference_events_per_sec\": %.0f,\n"
+      "  \"reference_allocs_per_event\": %.4f,\n"
+      "  \"speedup_vs_reference\": %.2f,\n"
+      "  \"forward_packets_per_sec\": %.0f,\n"
+      "  \"forward_allocs_per_packet\": %.4f,\n"
+      "  \"forward_events_per_sec\": %.0f\n"
+      "}\n",
+      r.mix.events_per_sec, r.mix.allocs_per_event,
+      r.ref_mix.events_per_sec, r.ref_mix.allocs_per_event,
+      r.mix.events_per_sec / r.ref_mix.events_per_sec,
+      r.forward.packets_per_sec, r.forward.allocs_per_packet,
+      r.forward.events_per_sec);
+  return buf;
+}
+
+/// Applies the CI gate: throughput >= 80% of baseline, allocation rates no
+/// more than baseline + 0.05. Returns the number of violations.
+int check_against(const Results& r, const std::string& baseline_doc) {
+  struct Gate {
+    const char* key;
+    double value;
+    bool higher_is_better;
+  };
+  const Gate gates[] = {
+      {"engine_events_per_sec", r.mix.events_per_sec, true},
+      {"forward_packets_per_sec", r.forward.packets_per_sec, true},
+      {"engine_allocs_per_event", r.mix.allocs_per_event, false},
+      {"forward_allocs_per_packet", r.forward.allocs_per_packet, false},
+  };
+  int violations = 0;
+  for (const Gate& gate : gates) {
+    double baseline = 0;
+    if (!json_number(baseline_doc, gate.key, baseline)) {
+      std::fprintf(stderr, "check: baseline is missing \"%s\"\n", gate.key);
+      ++violations;
+      continue;
+    }
+    if (gate.higher_is_better) {
+      const double floor = baseline * 0.8;
+      if (gate.value < floor) {
+        std::fprintf(stderr,
+                     "check: %s regressed: %.0f < %.0f (80%% of baseline "
+                     "%.0f)\n",
+                     gate.key, gate.value, floor, baseline);
+        ++violations;
+      }
+    } else if (gate.value > baseline + 0.05) {
+      std::fprintf(stderr, "check: %s regressed: %.4f > baseline %.4f + 0.05\n",
+                   gate.key, gate.value, baseline);
+      ++violations;
+    }
+  }
+  return violations;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string check_file;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      check_file = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--check BASELINE.json]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const std::uint64_t mix_events =
+      benchutil::quick() ? 20000 : 200000;  // per chain x 8 chains
+  const std::uint64_t packets = benchutil::quick() ? 20000 : 200000;
+
+  Results results;
+  results.mix = run_mix<des::Engine>(mix_events, 8);
+  results.ref_mix = run_mix<refdes::Engine>(mix_events, 8);
+  results.forward = run_forwarding(packets);
+
+  const std::string json = to_json(results);
+  std::printf("%s", json.c_str());
+  if (const char* path = benchutil::json_path()) {
+    std::ofstream out{path};
+    out << json;
+  }
+
+  if (!check_file.empty()) {
+    std::ifstream in{check_file};
+    if (!in) {
+      std::fprintf(stderr, "cannot open baseline %s\n", check_file.c_str());
+      return 2;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const int violations = check_against(results, ss.str());
+    if (violations > 0) return 1;
+    std::printf("check: all gates passed against %s\n", check_file.c_str());
+  }
+  return 0;
+}

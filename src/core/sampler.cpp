@@ -9,14 +9,64 @@ DeliverySampler::DeliverySampler(const mpibench::DistributionTable& table,
                                  SamplerOptions options, std::uint64_t seed)
     : table_{table}, options_{options}, rng_{seed} {}
 
-const stats::EmpiricalDistribution* DeliverySampler::cached(
-    mpibench::OpKind op, net::Bytes bytes, int contention) {
-  const auto key = std::make_tuple(static_cast<int>(op), bytes, contention);
-  auto it = cache_.find(key);
-  if (it == cache_.end()) {
-    it = cache_.emplace(key, table_.lookup(op, bytes, contention)).first;
+std::size_t DeliverySampler::hash_key(std::int32_t op, net::Bytes bytes,
+                                      std::int32_t contention) noexcept {
+  // splitmix64 finaliser over the packed key; op and contention are small,
+  // so folding them into the high bits keeps distinct keys distinct.
+  std::uint64_t x = bytes ^ (static_cast<std::uint64_t>(op) << 56) ^
+                    (static_cast<std::uint64_t>(contention) << 40);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<std::size_t>(x);
+}
+
+void DeliverySampler::rehash(std::size_t buckets) {
+  index_.assign(buckets, kEmpty);
+  const std::size_t mask = buckets - 1;
+  for (std::uint32_t pos = 0; pos < cells_.size(); ++pos) {
+    const Cell& c = cells_[pos];
+    std::size_t b = hash_key(c.op, c.bytes, c.contention) & mask;
+    while (index_[b] != kEmpty) b = (b + 1) & mask;
+    index_[b] = pos;
   }
-  return &it->second;
+}
+
+DeliverySampler::Cell& DeliverySampler::cell(mpibench::OpKind op,
+                                             net::Bytes bytes,
+                                             int contention) {
+  const auto op_id = static_cast<std::int32_t>(op);
+  if (last_cell_ != kEmpty) {
+    Cell& memo = cells_[last_cell_];
+    if (memo.op == op_id && memo.bytes == bytes &&
+        memo.contention == contention) {
+      return memo;
+    }
+  }
+  if (index_.empty()) rehash(16);
+  const std::size_t mask = index_.size() - 1;
+  std::size_t b = hash_key(op_id, bytes, contention) & mask;
+  while (index_[b] != kEmpty) {
+    Cell& c = cells_[index_[b]];
+    if (c.op == op_id && c.bytes == bytes && c.contention == contention) {
+      last_cell_ = index_[b];
+      return c;
+    }
+    b = (b + 1) & mask;
+  }
+  stats::EmpiricalDistribution dist = table_.lookup(op, bytes, contention);
+  Cell& fresh = cells_.emplace_back();
+  fresh.bytes = bytes;
+  fresh.op = op_id;
+  fresh.contention = contention;
+  fresh.dist = std::move(dist);
+  index_[b] = static_cast<std::uint32_t>(cells_.size() - 1);
+  last_cell_ = index_[b];
+  // Keep the load factor under 1/2 so probe chains stay short.
+  if (cells_.size() * 2 >= index_.size()) rehash(index_.size() * 2);
+  return cells_.back();
 }
 
 double DeliverySampler::draw(mpibench::OpKind op, net::Bytes bytes,
@@ -28,14 +78,10 @@ double DeliverySampler::draw(mpibench::OpKind op, net::Bytes bytes,
         "DeliverySampler: distribution table has no entries for " +
         mpibench::to_string(op)};
   }
+  Cell& c = cell(op, bytes, contention);
   if (options_.sample_from_fits) {
-    const auto key = std::make_tuple(static_cast<int>(op), bytes, contention);
-    auto it = fit_cache_.find(key);
-    if (it == fit_cache_.end()) {
-      const stats::EmpiricalDistribution* dist = cached(op, bytes, contention);
-      it = fit_cache_.emplace(key, stats::fit_best(*dist).distribution).first;
-    }
-    const stats::FittedDistribution& fitted = it->second;
+    if (!c.fit) c.fit = stats::fit_best(c.dist).distribution;
+    const stats::FittedDistribution& fitted = *c.fit;
     switch (options_.mode) {
       case PredictionMode::kDistribution:
         return std::max(fitted.support_min(), fitted.sample(rng_));
@@ -44,13 +90,12 @@ double DeliverySampler::draw(mpibench::OpKind op, net::Bytes bytes,
     }
     return fitted.mean();
   }
-  const stats::EmpiricalDistribution* dist = cached(op, bytes, contention);
   switch (options_.mode) {
-    case PredictionMode::kDistribution: return dist->sample(rng_);
-    case PredictionMode::kAverage: return dist->mean();
-    case PredictionMode::kMinimum: return dist->min();
+    case PredictionMode::kDistribution: return c.dist.sample(rng_);
+    case PredictionMode::kAverage: return c.dist.mean();
+    case PredictionMode::kMinimum: return c.dist.min();
   }
-  return dist->mean();
+  return c.dist.mean();
 }
 
 double DeliverySampler::delivery_seconds(net::Bytes bytes, int outstanding) {

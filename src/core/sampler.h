@@ -20,10 +20,9 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
-#include <tuple>
 #include <utility>
+#include <vector>
 
 #include "core/model.h"
 #include "mpibench/table.h"
@@ -78,20 +77,41 @@ class DeliverySampler {
   [[nodiscard]] stats::Rng& rng() noexcept { return rng_; }
 
  private:
+  static constexpr std::uint32_t kEmpty = UINT32_MAX;
+
+  /// One memoised (op, size, contention) cell: the interpolated empirical
+  /// distribution plus its lazily computed parametric fit. Models use few
+  /// distinct message sizes and a bounded range of contention levels, so
+  /// steady-state sampling resolves every key from this index without
+  /// touching the table.
+  struct Cell {
+    net::Bytes bytes = 0;
+    std::int32_t op = 0;
+    std::int32_t contention = 0;
+    stats::EmpiricalDistribution dist;
+    std::optional<stats::FittedDistribution> fit;
+  };
+
   [[nodiscard]] double draw(mpibench::OpKind op, net::Bytes bytes,
                             int contention, std::optional<double> fallback);
-  [[nodiscard]] const stats::EmpiricalDistribution* cached(
-      mpibench::OpKind op, net::Bytes bytes, int contention);
+  /// Flat-hash lookup of the memoised cell for a key, interpolating from
+  /// the table (and growing the index) on first use.
+  [[nodiscard]] Cell& cell(mpibench::OpKind op, net::Bytes bytes,
+                           int contention);
+  void rehash(std::size_t buckets);
+  [[nodiscard]] static std::size_t hash_key(std::int32_t op, net::Bytes bytes,
+                                            std::int32_t contention) noexcept;
 
   const mpibench::DistributionTable& table_;
   SamplerOptions options_;
   stats::Rng rng_;
-  /// Interpolated lookups are memoised: models use few distinct message
-  /// sizes and a bounded range of contention levels.
-  std::map<std::tuple<int, net::Bytes, int>, stats::EmpiricalDistribution>
-      cache_;
-  std::map<std::tuple<int, net::Bytes, int>, stats::FittedDistribution>
-      fit_cache_;
+  /// Memoised cells in insertion order; `index_` holds open-addressed
+  /// bucket -> cell positions (kEmpty = vacant).
+  std::vector<Cell> cells_;
+  std::vector<std::uint32_t> index_;
+  /// Draws cluster on one key (a model phase hammers a single message
+  /// size), so the last resolved cell is checked before probing.
+  std::uint32_t last_cell_ = kEmpty;
 };
 
 }  // namespace pevpm

@@ -1,53 +1,132 @@
 #include "des/engine.h"
 
-#include <stdexcept>
-#include <utility>
-
 namespace des {
 
-Engine::EventId Engine::schedule_at(SimTime t, Callback fn, int priority) {
-  if (t < now_) {
-    throw std::invalid_argument{"Engine::schedule_at: time is in the past"};
+std::uint32_t Engine::acquire_slot() {
+  if (free_head_ != kNil) {
+    const std::uint32_t index = free_head_;
+    free_head_ = slot_at(index).next_free;
+    return index;
   }
-  const std::uint64_t seq = next_seq_++;
-  queue_.push(Event{t, priority, seq, std::move(fn)});
-  live_.insert(seq);
-  return EventId{seq};
+  if ((slot_count_ & (kChunkSize - 1)) == 0) {
+    chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+  }
+  return slot_count_++;
 }
 
-Engine::EventId Engine::schedule_in(SimTime dt, Callback fn, int priority) {
-  if (dt < 0) {
-    throw std::invalid_argument{"Engine::schedule_in: negative delay"};
+void Engine::release_slot(std::uint32_t index) noexcept {
+  Slot& slot = slot_at(index);
+  slot.state = SlotState::kFree;
+  ++slot.gen;
+  slot.next_free = free_head_;
+  free_head_ = index;
+}
+
+void Engine::heap_push(const HeapEntry& entry) {
+  // Hole insertion: bubble the hole up, write the entry once at the end.
+  heap_.push_back(entry);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!before(entry, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
   }
-  return schedule_at(now_ + dt, std::move(fn), priority);
+  heap_[i] = entry;
+}
+
+void Engine::heap_pop_root() noexcept {
+  const HeapEntry moved = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return;
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first_child = (i << 2) + 1;
+    if (first_child >= n) break;
+    const std::size_t last_child = first_child + 4 < n ? first_child + 4 : n;
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], moved)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = moved;
 }
 
 bool Engine::cancel(EventId id) {
-  if (!id.valid() || live_.count(id.seq) == 0) return false;
-  return cancelled_.insert(id.seq).second;
-}
-
-bool Engine::pop_head(Event& out) {
-  // priority_queue::top is const; the event is copied out. Callbacks are
-  // small (captured pointers), so the copy is cheap.
-  Event event = queue_.top();
-  queue_.pop();
-  live_.erase(event.seq);
-  if (const auto it = cancelled_.find(event.seq); it != cancelled_.end()) {
-    cancelled_.erase(it);
-    return false;
-  }
-  out = std::move(event);
+  if (!id.valid() || id.slot > slot_count_) return false;
+  Slot& slot = slot_at(id.slot - 1);
+  if (slot.gen != id.gen || slot.state != SlotState::kScheduled) return false;
+  slot.state = SlotState::kCancelled;
+  slot.fn.reset();  // release captures now; the heap entry is discarded later
+  --live_;
   return true;
 }
 
+void Engine::dispatch(const HeapEntry& head) {
+  Slot& slot = slot_at(head.slot);
+  // kRunning keeps cancel() and slot reuse away while the callback executes
+  // in place; chunked storage guarantees `slot` stays put even if the
+  // callback grows the pool. The guard recycles the slot even when the
+  // callback throws (the exception still propagates to the caller).
+  slot.state = SlotState::kRunning;
+  --live_;
+  now_ = head.time;
+  ++processed_;
+  struct Guard {
+    Engine* engine;
+    std::uint32_t index;
+    ~Guard() {
+      engine->slot_at(index).fn.reset();
+      engine->release_slot(index);
+    }
+  } guard{this, head.slot};
+  slot.fn();
+}
+
+bool Engine::peek_head(const HeapEntry*& out, bool& from_heap) noexcept {
+  const bool have_fifo = fifo_head_ < fifo_.size();
+  if (heap_.empty()) {
+    if (!have_fifo) return false;
+    out = &fifo_[fifo_head_];
+    from_heap = false;
+    return true;
+  }
+  if (have_fifo && before(fifo_[fifo_head_], heap_[0])) {
+    out = &fifo_[fifo_head_];
+    from_heap = false;
+  } else {
+    out = &heap_[0];
+    from_heap = true;
+  }
+  return true;
+}
+
+void Engine::pop_head(bool from_heap) noexcept {
+  if (from_heap) {
+    heap_pop_root();
+    return;
+  }
+  if (++fifo_head_ == fifo_.size()) {
+    fifo_.clear();
+    fifo_head_ = 0;
+  }
+}
+
 bool Engine::step() {
-  while (!queue_.empty()) {
-    Event event;
-    if (!pop_head(event)) continue;
-    now_ = event.time;
-    ++processed_;
-    event.fn();
+  const HeapEntry* peeked = nullptr;
+  bool from_heap = false;
+  while (peek_head(peeked, from_heap)) {
+    const HeapEntry head = *peeked;
+    pop_head(from_heap);
+    if (slot_at(head.slot).state == SlotState::kCancelled) {
+      release_slot(head.slot);
+      continue;
+    }
+    dispatch(head);
     return true;
   }
   return false;
@@ -59,20 +138,24 @@ void Engine::run() {
 }
 
 void Engine::run_until(SimTime t) {
-  while (!queue_.empty()) {
-    if (queue_.top().time > t) {
-      if (cancelled_.count(queue_.top().seq) > 0) {
-        Event discard;
-        pop_head(discard);
+  const HeapEntry* peeked = nullptr;
+  bool from_heap = false;
+  while (peek_head(peeked, from_heap)) {
+    const HeapEntry head = *peeked;
+    if (head.time > t) {
+      if (slot_at(head.slot).state == SlotState::kCancelled) {
+        pop_head(from_heap);
+        release_slot(head.slot);
         continue;
       }
       break;
     }
-    Event event;
-    if (!pop_head(event)) continue;
-    now_ = event.time;
-    ++processed_;
-    event.fn();
+    pop_head(from_heap);
+    if (slot_at(head.slot).state == SlotState::kCancelled) {
+      release_slot(head.slot);
+      continue;
+    }
+    dispatch(head);
   }
   if (now_ < t) now_ = t;
 }

@@ -6,26 +6,42 @@
 // engine loop or one cooperative process) is active at any instant, so the
 // queue needs no locking; the process hand-off (process.h) provides the
 // happens-before edges between contexts.
+//
+// Storage is allocation-free in steady state: events live in pooled slots
+// recycled through a free list, callbacks are constructed directly into the
+// slot's inline buffer (smallfn.h), and the ready queue is a 4-ary heap of
+// 24-byte entries whose ordering keys are embedded in the entry itself, so
+// comparisons never chase a pointer. Slots live in fixed-size chunks with
+// stable addresses, which lets a callback run in place while it schedules
+// further events. Cancellation is lazy — the slot is flagged and its
+// callback destroyed immediately, but the heap entry stays until it
+// surfaces at the root, where it is discarded. Generation tags on the
+// slots make stale EventIds (after the event ran, was cancelled, or the
+// slot was recycled) harmless.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <memory>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
+#include "des/smallfn.h"
 #include "des/time.h"
 
 namespace des {
 
 class Engine {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallFn;
 
   /// Opaque handle for cancellation. Default-constructed ids are invalid.
+  /// `slot` is the pool index + 1; `gen` must match the slot's current
+  /// generation, which bumps every time the slot is released.
   struct EventId {
-    std::uint64_t seq = 0;
-    [[nodiscard]] bool valid() const noexcept { return seq != 0; }
+    std::uint32_t slot = 0;
+    std::uint32_t gen = 0;
+    [[nodiscard]] bool valid() const noexcept { return slot != 0; }
   };
 
   Engine() = default;
@@ -35,14 +51,43 @@ class Engine {
   [[nodiscard]] SimTime now() const noexcept { return now_; }
 
   /// Schedules `fn` at absolute time `t` (>= now). Lower `priority` runs
-  /// first among same-time events.
-  EventId schedule_at(SimTime t, Callback fn, int priority = 0);
+  /// first among same-time events. The callable is constructed directly
+  /// into the event slot; captures up to SmallFn::kInlineBytes never touch
+  /// the heap.
+  template <typename F>
+  EventId schedule_at(SimTime t, F&& fn, int priority = 0) {
+    if (t < now_) {
+      throw std::invalid_argument{"Engine::schedule_at: time is in the past"};
+    }
+    const std::uint32_t index = acquire_slot();
+    Slot& slot = slot_at(index);
+    slot.fn.emplace(std::forward<F>(fn));
+    slot.state = SlotState::kScheduled;
+    const HeapEntry entry{t, next_seq_++, index, priority};
+    // Immediate default-priority events (the process wake-up pattern) skip
+    // the heap: successive pushes have non-decreasing (time, seq), so the
+    // FIFO is already sorted and the dispatcher only compares its front
+    // against the heap root.
+    if (t == now_ && priority == 0) {
+      fifo_.push_back(entry);
+    } else {
+      heap_push(entry);
+    }
+    ++live_;
+    return EventId{index + 1, slot.gen};
+  }
 
   /// Schedules `fn` at now + dt.
-  EventId schedule_in(SimTime dt, Callback fn, int priority = 0);
+  template <typename F>
+  EventId schedule_in(SimTime dt, F&& fn, int priority = 0) {
+    if (dt < 0) {
+      throw std::invalid_argument{"Engine::schedule_in: negative delay"};
+    }
+    return schedule_at(now_ + dt, std::forward<F>(fn), priority);
+  }
 
-  /// Cancels a pending event. Returns false if it already ran or was
-  /// already cancelled.
+  /// Cancels a pending event. Returns false if it already ran, is
+  /// currently running, or was already cancelled.
   bool cancel(EventId id);
 
   /// Runs until the queue is empty.
@@ -54,34 +99,80 @@ class Engine {
   /// Executes the next event, if any. Returns false when the queue is empty.
   bool step();
 
-  [[nodiscard]] std::size_t pending() const noexcept {
-    return live_.size() - cancelled_.size();
-  }
-  [[nodiscard]] bool empty() const noexcept { return pending() == 0; }
+  [[nodiscard]] std::size_t pending() const noexcept { return live_; }
+  [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
   [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
 
  private:
-  struct Event {
-    SimTime time = 0;
-    int priority = 0;
-    std::uint64_t seq = 0;
+  static constexpr std::uint32_t kNil = UINT32_MAX;
+  /// Slots per pool chunk. Chunked storage keeps slot addresses stable, so
+  /// a callback can execute in place while scheduling (and growing the
+  /// pool) underneath itself.
+  static constexpr std::uint32_t kChunkShift = 9;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+
+  enum class SlotState : std::uint8_t {
+    kFree,
+    kScheduled,
+    kCancelled,
+    kRunning
+  };
+
+  struct Slot {
     Callback fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.time != b.time) return a.time > b.time;
-      if (a.priority != b.priority) return a.priority > b.priority;
-      return a.seq > b.seq;
-    }
+    std::uint32_t gen = 1;
+    std::uint32_t next_free = kNil;
+    SlotState state = SlotState::kFree;
   };
 
-  /// Pops the queue head, maintaining live_/cancelled_. Returns false and
-  /// leaves `out` untouched if the head was cancelled (caller retries).
-  bool pop_head(Event& out);
+  /// Heap entries carry the full ordering key so sift operations compare
+  /// without touching the slot pool.
+  struct HeapEntry {
+    SimTime time = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t slot = 0;
+    std::int32_t priority = 0;
+  };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<std::uint64_t> live_;       ///< scheduled, not yet popped
-  std::unordered_set<std::uint64_t> cancelled_;  ///< subset of live_
+  [[nodiscard]] static bool before(const HeapEntry& a,
+                                   const HeapEntry& b) noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.priority != b.priority) return a.priority < b.priority;
+    return a.seq < b.seq;
+  }
+
+  [[nodiscard]] Slot& slot_at(std::uint32_t index) noexcept {
+    return chunks_[index >> kChunkShift][index & (kChunkSize - 1)];
+  }
+
+  [[nodiscard]] std::uint32_t acquire_slot();
+  /// Recycles a slot: bumps the generation and pushes it on the free list.
+  /// The callback must already be moved out or destroyed.
+  void release_slot(std::uint32_t index) noexcept;
+  /// Runs the callback of a popped, still-live slot in place, then
+  /// recycles the slot.
+  void dispatch(const HeapEntry& head);
+
+  void heap_push(const HeapEntry& entry);
+  /// Removes the root, restoring the heap property.
+  void heap_pop_root() noexcept;
+
+  /// Points `out` at the earliest pending entry (FIFO front vs heap root)
+  /// without removing it. Returns false when both queues are empty;
+  /// `from_heap` says which queue holds the minimum.
+  [[nodiscard]] bool peek_head(const HeapEntry*& out, bool& from_heap) noexcept;
+  /// Removes the entry peek_head() reported.
+  void pop_head(bool from_heap) noexcept;
+
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::uint32_t slot_count_ = 0;  ///< slots ever created across chunks
+  std::vector<HeapEntry> heap_;
+  /// Immediate (time == now, priority 0) events in push order; `fifo_head_`
+  /// indexes the first unconsumed entry.
+  std::vector<HeapEntry> fifo_;
+  std::size_t fifo_head_ = 0;
+  std::uint32_t free_head_ = kNil;
+  std::size_t live_ = 0;  ///< scheduled and not cancelled
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t processed_ = 0;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
+#include "core/parallel.h"
 #include "mpi/comm.h"
 #include "mpi/runtime.h"
 #include "mpibench/clocksync.h"
@@ -168,22 +170,49 @@ CollectiveResult run_alltoall(const Options& options, net::Bytes block_size) {
   });
 }
 
+std::vector<PointToPointResult> run_isend_sweep(
+    const Options& options, std::span<const net::Bytes> sizes, int jobs) {
+  // Each work item gets its own Options copy and so its own Runtime
+  // (Engine + Network): nothing is shared between items, and each item's
+  // result depends only on (options, size). Per-index slots + the implicit
+  // join in parallel_for make the output independent of scheduling.
+  std::vector<PointToPointResult> results(sizes.size());
+  pevpm::parallel_for(
+      static_cast<int>(sizes.size()), pevpm::resolve_threads(jobs),
+      [&](int i) { results[i] = run_isend(options, sizes[i]); });
+  return results;
+}
+
 DistributionTable measure_isend_table(Options options,
                                       std::span<const net::Bytes> sizes,
-                                      std::span<const Config> configs) {
+                                      std::span<const Config> configs,
+                                      int jobs) {
+  // Flatten the (config, size) grid, benchmark the cells in parallel, then
+  // assemble the table serially in grid order — the exact insert sequence
+  // the nested serial loops produced, so the saved table is byte-identical
+  // at any job count.
+  const int cells = static_cast<int>(configs.size() * sizes.size());
+  std::vector<PointToPointResult> results(cells);
+  pevpm::parallel_for(
+      cells, pevpm::resolve_threads(jobs), [&](int i) {
+        Options local = options;
+        const Config& config = configs[i / sizes.size()];
+        local.cluster.nodes = config.nodes;
+        local.procs_per_node = config.procs_per_node;
+        results[i] = run_isend(local, sizes[i % sizes.size()]);
+      });
   DistributionTable table;
-  for (const Config& config : configs) {
-    options.cluster.nodes = config.nodes;
-    options.procs_per_node = config.procs_per_node;
+  for (std::size_t c = 0; c < configs.size(); ++c) {
     // Table level = messages concurrently in flight during the benchmark:
     // the pair pattern keeps nprocs/2 messages in the network at a time,
     // which is the same quantity the PEVPM contention scoreboard counts.
-    const int contention = std::max(1, config.nodes * config.procs_per_node / 2);
-    for (const net::Bytes size : sizes) {
-      const PointToPointResult result = run_isend(options, size);
-      table.insert(OpKind::kPtpOneWay, size, contention,
+    const int contention =
+        std::max(1, configs[c].nodes * configs[c].procs_per_node / 2);
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+      PointToPointResult& result = results[c * sizes.size() + s];
+      table.insert(OpKind::kPtpOneWay, sizes[s], contention,
                    result.distribution());
-      table.insert(OpKind::kPtpSender, size, contention,
+      table.insert(OpKind::kPtpSender, sizes[s], contention,
                    stats::EmpiricalDistribution{result.sender_hist});
     }
   }

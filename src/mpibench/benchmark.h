@@ -68,6 +68,14 @@ struct PointToPointResult {
 [[nodiscard]] PointToPointResult run_isend(const Options& options,
                                            net::Bytes size);
 
+/// Runs run_isend for every size, fanning the independent benchmarks out
+/// over up to `jobs` worker threads (each on its own simulator instance).
+/// Results come back in `sizes` order and are bit-identical to running the
+/// sizes serially: each benchmark's simulation depends only on (options,
+/// size), never on its neighbours. jobs <= 1 runs inline.
+[[nodiscard]] std::vector<PointToPointResult> run_isend_sweep(
+    const Options& options, std::span<const net::Bytes> sizes, int jobs);
+
 /// Completion-time benchmark of a collective operation, timed per process.
 struct CollectiveResult {
   net::Bytes size = 0;
@@ -89,12 +97,14 @@ struct CollectiveResult {
 /// Measures the Isend one-way distribution across `sizes` for every machine
 /// configuration in `configs` (pairs of nodes x ppn) and assembles the
 /// PEVPM distribution table, with contention level = total process count.
+/// The (config, size) grid is swept over up to `jobs` threads; the table is
+/// assembled in grid order afterwards, so output is independent of jobs.
 struct Config {
   int nodes = 2;
   int procs_per_node = 1;
 };
 [[nodiscard]] DistributionTable measure_isend_table(
     Options options, std::span<const net::Bytes> sizes,
-    std::span<const Config> configs);
+    std::span<const Config> configs, int jobs = 1);
 
 }  // namespace mpibench

@@ -1,12 +1,14 @@
 #include "net/network.h"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 namespace net {
 
 Network::Network(des::Engine& engine, ClusterParams params)
-    : engine_{engine}, params_{params} {
+    : engine_{engine}, params_{std::move(params)} {
   nic_tx_.reserve(params_.nodes);
   nic_rx_.reserve(params_.nodes);
   for (int n = 0; n < params_.nodes; ++n) {
@@ -24,6 +26,7 @@ Network::Network(des::Engine& engine, ClusterParams params)
     trunk_.push_back(std::make_unique<Link>(
         engine_, "trunk." + std::to_string(s), params_.trunk));
   }
+  route_cache_.resize(static_cast<std::size_t>(params_.nodes) * params_.nodes);
 
   // Fault injection: every link gets an independent RNG stream drawn from
   // the master seed in construction order, which is deterministic, so a
@@ -44,7 +47,7 @@ Network::Network(des::Engine& engine, ClusterParams params)
 
 Link& Network::trunk(int lower_switch) { return *trunk_.at(lower_switch); }
 
-std::vector<Link*> Network::route(int src_node, int dst_node) const {
+void Network::check_route_args(int src_node, int dst_node) const {
   if (src_node < 0 || src_node >= params_.nodes || dst_node < 0 ||
       dst_node >= params_.nodes) {
     throw std::out_of_range{"Network::route: node out of range"};
@@ -53,6 +56,10 @@ std::vector<Link*> Network::route(int src_node, int dst_node) const {
     throw std::invalid_argument{
         "Network::route: intra-node traffic does not use the network"};
   }
+}
+
+std::vector<Link*> Network::route(int src_node, int dst_node) const {
+  check_route_args(src_node, dst_node);
   std::vector<Link*> path;
   path.push_back(nic_tx_[src_node].get());
   const int s_src = params_.switch_of(src_node);
@@ -67,41 +74,90 @@ std::vector<Link*> Network::route(int src_node, int dst_node) const {
   return path;
 }
 
+std::span<Link* const> Network::route_span(int src_node, int dst_node) {
+  check_route_args(src_node, dst_node);
+  CachedRoute& cached =
+      route_cache_[static_cast<std::size_t>(src_node) * params_.nodes +
+                   dst_node];
+  if (cached.len == 0) {
+    const std::vector<Link*> path = route(src_node, dst_node);
+    cached.links = std::make_unique<Link*[]>(path.size());
+    std::copy(path.begin(), path.end(), cached.links.get());
+    cached.len = static_cast<std::uint32_t>(path.size());
+  }
+  return {cached.links.get(), cached.len};
+}
+
 int Network::hop_count(int src_node, int dst_node) const {
-  return static_cast<int>(route(src_node, dst_node).size());
+  check_route_args(src_node, dst_node);
+  // nic_tx + entry fabric + one trunk per switch boundary crossed + nic_rx.
+  const int s_src = params_.switch_of(src_node);
+  const int s_dst = params_.switch_of(dst_node);
+  const int trunks = s_src < s_dst ? s_dst - s_src : s_src - s_dst;
+  return 3 + trunks;
+}
+
+std::uint32_t Network::acquire_transit() {
+  if (transit_free_ != kNil) {
+    const std::uint32_t index = transit_free_;
+    transit_free_ = transits_[index].next_free;
+    return index;
+  }
+  transits_.emplace_back();
+  return static_cast<std::uint32_t>(transits_.size() - 1);
+}
+
+void Network::release_transit(std::uint32_t index) noexcept {
+  Transit& record = transits_[index];
+  record.deliver = nullptr;
+  record.drop = nullptr;
+  record.path = {};
+  record.next_free = transit_free_;
+  transit_free_ = index;
 }
 
 void Network::send(const Packet& packet, DeliverFn deliver, DropFn drop) {
-  auto path =
-      std::make_shared<const std::vector<Link*>>(route(packet.src_node,
-                                                       packet.dst_node));
-  forward(packet, std::move(path), 0, std::move(deliver), std::move(drop));
+  const std::span<Link* const> path =
+      route_span(packet.src_node, packet.dst_node);
+  const std::uint32_t index = acquire_transit();
+  Transit& record = transit(index);
+  record.packet = packet;
+  record.path = path;
+  record.hop = 0;
+  record.deliver = std::move(deliver);
+  record.drop = std::move(drop);
+  forward_hop(index);
 }
 
-void Network::forward(const Packet& packet,
-                      std::shared_ptr<const std::vector<Link*>> path,
-                      std::size_t hop, DeliverFn deliver, DropFn drop) {
-  Link* link = (*path)[hop];
-  const bool last = hop + 1 == path->size();
-  if (last) {
+void Network::forward_hop(std::uint32_t index) {
+  Transit& record = transit(index);
+  Link* link = record.path[record.hop];
+  if (record.hop + 1 == record.path.size()) {
+    // Final hop: hand the user's callbacks to the link and retire the
+    // record before submit so the pool slot can be reused immediately.
+    const Packet packet = record.packet;
+    DeliverFn deliver = std::move(record.deliver);
+    DropFn drop = std::move(record.drop);
+    release_transit(index);
     link->submit(packet, std::move(deliver), std::move(drop));
     return;
   }
+  // Intermediate hop: arrival advances the record to the next link after
+  // the store-and-forward switch latency. Exactly one of the two callbacks
+  // fires per submit, so the record is released exactly once.
   link->submit(
-      packet,
-      [this, path = std::move(path), hop, deliver = std::move(deliver),
-       drop](const Packet& arrived) mutable {
-        // Store-and-forward: the switch inspects the frame before queueing
-        // it on the egress port.
-        engine_.schedule_in(params_.switch_latency,
-                            [this, arrived, path = std::move(path), hop,
-                             deliver = std::move(deliver),
-                             drop = std::move(drop)]() mutable {
-                              forward(arrived, std::move(path), hop + 1,
-                                      std::move(deliver), std::move(drop));
-                            });
+      record.packet,
+      [this, index](const Packet&) {
+        engine_.schedule_in(params_.switch_latency, [this, index] {
+          ++transit(index).hop;
+          forward_hop(index);
+        });
       },
-      drop);
+      [this, index](const Packet& dropped) {
+        DropFn drop = std::move(transit(index).drop);
+        release_transit(index);
+        if (drop) drop(dropped);
+      });
 }
 
 std::uint64_t Network::total_drops() const noexcept {

@@ -1,10 +1,19 @@
 // The cluster network: per-node NIC links, a chain of switches joined by
 // stacking trunks, and hop-by-hop packet forwarding with store-and-forward
 // switch latency — the Perseus topology from the paper.
+//
+// The forwarding hot path is allocation-free in steady state: routes are
+// computed once per (src, dst) pair and reused as spans into per-pair
+// arrays, and each in-flight packet is tracked by a pool-allocated transit
+// record addressed by index, so the per-hop callbacks capture only
+// (network, index) and fit every small-object buffer on the way down.
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -34,13 +43,24 @@ class Network {
   /// (intra-node traffic uses the SMP channel in the MPI layer).
   void send(const Packet& packet, DeliverFn deliver, DropFn drop);
 
-  /// Number of links a src->dst packet traverses (NICs + trunks).
+  /// Number of links a src->dst packet traverses (NICs + trunks). Computed
+  /// arithmetically; no route is materialised.
   [[nodiscard]] int hop_count(int src_node, int dst_node) const;
+
+  /// Builds a fresh route (link sequence) for src -> dst. Exposed for
+  /// tests; the forwarding path uses the cached route_span() instead.
+  [[nodiscard]] std::vector<Link*> route(int src_node, int dst_node) const;
+
+  /// Cached route for src -> dst: computed on first use, stable for the
+  /// lifetime of the Network.
+  [[nodiscard]] std::span<Link* const> route_span(int src_node, int dst_node);
 
   // Link accessors for statistics and tests.
   [[nodiscard]] Link& nic_tx(int node) { return *nic_tx_.at(node); }
   [[nodiscard]] Link& nic_rx(int node) { return *nic_rx_.at(node); }
-  [[nodiscard]] Link& fabric(int switch_index) { return *fabric_.at(switch_index); }
+  [[nodiscard]] Link& fabric(int switch_index) {
+    return *fabric_.at(switch_index);
+  }
   /// Shared (half-duplex) stacking trunk between switch s and s+1.
   [[nodiscard]] Link& trunk(int lower_switch);
 
@@ -52,12 +72,38 @@ class Network {
   void reset_stats() noexcept;
 
  private:
-  /// Forwards the packet along `path` starting at index `hop`.
-  void forward(const Packet& packet,
-               std::shared_ptr<const std::vector<Link*>> path, std::size_t hop,
-               DeliverFn deliver, DropFn drop);
+  static constexpr std::uint32_t kNil = UINT32_MAX;
 
-  [[nodiscard]] std::vector<Link*> route(int src_node, int dst_node) const;
+  /// One in-flight packet traversing its route. Pool-allocated and
+  /// addressed by index so per-hop callbacks capture 12 bytes.
+  struct Transit {
+    Packet packet{};
+    std::span<Link* const> path{};
+    std::uint32_t hop = 0;
+    std::uint32_t next_free = kNil;
+    DeliverFn deliver;
+    DropFn drop;
+  };
+
+  /// Lazily-filled per-(src,dst) route storage; `len == 0` means unfilled
+  /// (every valid route has at least 3 links).
+  struct CachedRoute {
+    std::unique_ptr<Link*[]> links;
+    std::uint32_t len = 0;
+  };
+
+  [[nodiscard]] std::uint32_t acquire_transit();
+  void release_transit(std::uint32_t index) noexcept;
+  [[nodiscard]] Transit& transit(std::uint32_t index) noexcept {
+    return transits_[index];
+  }
+
+  /// Submits the transit's packet to the link at its current hop; the
+  /// arrival callback advances the hop (after the store-and-forward switch
+  /// latency) until the final link delivers to the destination host.
+  void forward_hop(std::uint32_t index);
+
+  void check_route_args(int src_node, int dst_node) const;
 
   des::Engine& engine_;
   ClusterParams params_;
@@ -71,6 +117,12 @@ class Network {
   /// is what makes the paper's 24 x 84.25 Mbit/s = 2.02 Gbit/s offered load
   /// saturate it.
   std::vector<std::unique_ptr<Link>> trunk_;
+
+  /// Route cache indexed by src * nodes + dst.
+  std::vector<CachedRoute> route_cache_;
+  /// Transit pool; deque keeps records at stable addresses while growing.
+  std::deque<Transit> transits_;
+  std::uint32_t transit_free_ = kNil;
 };
 
 }  // namespace net

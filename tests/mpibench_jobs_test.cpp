@@ -1,0 +1,84 @@
+// Determinism of the parallel benchmark sweep: any --jobs fan-out must
+// produce byte-identical results to the serial sweep, because every
+// (config, size) cell runs on its own simulator instance with seeding
+// derived only from the options.
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mpibench/benchmark.h"
+#include "net/cluster.h"
+
+namespace {
+
+mpibench::Options small_options() {
+  mpibench::Options opt;
+  opt.cluster = net::perseus(2);
+  opt.procs_per_node = 1;
+  opt.repetitions = 25;
+  opt.warmup = 8;
+  opt.seed = 97;
+  return opt;
+}
+
+TEST(MpibenchJobs, SweepIsBitIdenticalAcrossJobCounts) {
+  const mpibench::Options opt = small_options();
+  const std::vector<net::Bytes> sizes{256, 2048, 8192};
+  const auto serial = mpibench::run_isend_sweep(opt, sizes, 1);
+  const auto fanned = mpibench::run_isend_sweep(opt, sizes, 4);
+  ASSERT_EQ(serial.size(), fanned.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].size, fanned[i].size);
+    EXPECT_EQ(serial[i].messages, fanned[i].messages);
+    EXPECT_EQ(serial[i].oneway.to_csv(), fanned[i].oneway.to_csv())
+        << "histogram diverged for size " << sizes[i];
+    EXPECT_EQ(serial[i].sender_hist.to_csv(), fanned[i].sender_hist.to_csv());
+    EXPECT_EQ(serial[i].tcp_retransmits, fanned[i].tcp_retransmits);
+    EXPECT_EQ(serial[i].link_drops, fanned[i].link_drops);
+  }
+}
+
+TEST(MpibenchJobs, SweepMatchesDirectRunIsend) {
+  const mpibench::Options opt = small_options();
+  const std::vector<net::Bytes> sizes{512, 4096};
+  const auto swept = mpibench::run_isend_sweep(opt, sizes, 3);
+  ASSERT_EQ(swept.size(), sizes.size());
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const auto direct = mpibench::run_isend(opt, sizes[i]);
+    EXPECT_EQ(direct.oneway.to_csv(), swept[i].oneway.to_csv());
+    EXPECT_EQ(direct.messages, swept[i].messages);
+  }
+}
+
+TEST(MpibenchJobs, TableIsBitIdenticalAcrossJobCounts) {
+  mpibench::Options opt = small_options();
+  const std::vector<net::Bytes> sizes{256, 4096};
+  const std::vector<mpibench::Config> configs{{2, 1}, {2, 2}, {4, 1}};
+  const auto table1 = mpibench::measure_isend_table(opt, sizes, configs, 1);
+  const auto table4 = mpibench::measure_isend_table(opt, sizes, configs, 4);
+  std::ostringstream serial;
+  std::ostringstream fanned;
+  table1.save(serial);
+  table4.save(fanned);
+  EXPECT_EQ(serial.str(), fanned.str());
+  EXPECT_EQ(table1.size(), table4.size());
+}
+
+TEST(MpibenchJobs, FaultInjectionStaysDeterministicUnderJobs) {
+  mpibench::Options opt = small_options();
+  opt.cluster.fault.loss_rate = 0.02;
+  opt.cluster.fault.seed = opt.seed;
+  const std::vector<net::Bytes> sizes{1024, 8192};
+  const auto serial = mpibench::run_isend_sweep(opt, sizes, 1);
+  const auto fanned = mpibench::run_isend_sweep(opt, sizes, 2);
+  ASSERT_EQ(serial.size(), fanned.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].oneway.to_csv(), fanned[i].oneway.to_csv());
+    EXPECT_EQ(serial[i].faults_injected, fanned[i].faults_injected);
+    EXPECT_EQ(serial[i].tcp_retransmits, fanned[i].tcp_retransmits);
+    EXPECT_EQ(serial[i].tcp_timeouts, fanned[i].tcp_timeouts);
+  }
+}
+
+}  // namespace

@@ -9,6 +9,10 @@
 //     --sizes a,b,c      message sizes in bytes (default 0,1024,16384,65536)
 //     --reps R           measured repetitions (default 200)
 //     --op OP            isend | barrier | bcast | alltoall (default isend)
+//     --jobs J           benchmark J (size x config) cells concurrently on
+//                        independent simulator instances; 0 = one per
+//                        hardware thread. Output is byte-identical to
+//                        --jobs 1 (default 1)
 //     --bin-us W         histogram bin width in microseconds (default 10)
 //     --table FILE       ALSO sweep configs 2..N x ppn and write a PEVPM
 //                        distribution table to FILE
@@ -23,6 +27,7 @@
 //                        down:START_MS,END_MS (link outage; repeatable)
 //     --fault-seed S     fault RNG master seed (default: --seed)
 //     --rto-ms R         TCP retransmission-timeout floor in milliseconds
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -31,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "core/parallel.h"
 #include "mpibench/benchmark.h"
 #include "net/cluster.h"
 
@@ -42,6 +48,7 @@ struct Args {
   std::vector<net::Bytes> sizes{0, 1024, 16384, 65536};
   int reps = 200;
   std::string op = "isend";
+  int jobs = 1;
   double bin_us = 10.0;
   std::string table_file;
   std::string cluster_file;
@@ -68,7 +75,8 @@ std::vector<net::Bytes> parse_sizes(const std::string& list) {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--nodes N] [--ppn P] [--sizes a,b,c] [--reps R]\n"
-               "          [--op isend|barrier|bcast|alltoall] [--bin-us W]\n"
+               "          [--op isend|barrier|bcast|alltoall] [--jobs J]\n"
+               "          [--bin-us W]\n"
                "          [--table FILE] [--histograms] [--cluster FILE]\n"
                "          [--seed S]\n"
                "          [--loss-rate P] [--fault-profile burst:E,X,L]\n"
@@ -96,6 +104,8 @@ Args parse_args(int argc, char** argv) {
       args.reps = std::stoi(value());
     } else if (flag == "--op") {
       args.op = value();
+    } else if (flag == "--jobs") {
+      args.jobs = std::stoi(value());
     } else if (flag == "--bin-us") {
       args.bin_us = std::stod(value());
     } else if (flag == "--table") {
@@ -198,8 +208,12 @@ int main(int argc, char** argv) {
       std::printf("%10s %10s %10s %10s %10s %8s\n", "bytes", "min_us",
                   "avg_us", "p99_us", "max_us", "mbit");
     }
-    for (const net::Bytes size : args.sizes) {
-      const auto result = mpibench::run_isend(opt, size);
+    // All sizes are benchmarked up front (fanned out when --jobs > 1) and
+    // printed afterwards in size order, so the output never depends on the
+    // job count.
+    const auto results = mpibench::run_isend_sweep(opt, args.sizes, args.jobs);
+    for (const auto& result : results) {
+      const net::Bytes size = result.size;
       const auto& s = result.oneway.summary();
       const auto dist = result.distribution();
       if (faults) {
@@ -234,15 +248,28 @@ int main(int argc, char** argv) {
              args.op == "alltoall") {
     std::printf("%10s %10s %10s %10s\n", "bytes", "min_us", "avg_us",
                 "max_us");
-    for (const net::Bytes size : args.sizes) {
-      mpibench::CollectiveResult result;
-      if (args.op == "barrier") {
-        result = mpibench::run_barrier(opt);
-      } else if (args.op == "bcast") {
-        result = mpibench::run_bcast(opt, size);
-      } else {
-        result = mpibench::run_alltoall(opt, size);
-      }
+    // Barrier is size-independent: run one cell. Other collectives sweep
+    // sizes like isend — computed first (in parallel under --jobs), printed
+    // in size order.
+    const std::size_t cells =
+        args.op == "barrier" ? std::min<std::size_t>(1, args.sizes.size())
+                             : args.sizes.size();
+    std::vector<mpibench::CollectiveResult> coll(cells);
+    pevpm::parallel_for(
+        static_cast<int>(cells), pevpm::resolve_threads(args.jobs),
+        [&](int i) {
+          if (args.op == "barrier") {
+            coll[i] = mpibench::run_barrier(opt);
+          } else if (args.op == "bcast") {
+            coll[i] = mpibench::run_bcast(opt, args.sizes[i]);
+          } else {
+            coll[i] = mpibench::run_alltoall(opt, args.sizes[i]);
+          }
+        });
+    for (std::size_t i = 0; i < cells; ++i) {
+      const mpibench::CollectiveResult& result = coll[i];
+      const net::Bytes size = args.op == "barrier" ? args.sizes.at(0)
+                                                   : args.sizes[i];
       const auto& s = result.completion.summary();
       std::printf("%10llu %10.1f %10.1f %10.1f\n",
                   static_cast<unsigned long long>(size), s.min() * 1e6,
@@ -256,7 +283,6 @@ int main(int argc, char** argv) {
       if (args.histograms) {
         std::printf("%s\n", result.completion.to_csv().c_str());
       }
-      if (args.op == "barrier") break;  // size-independent
     }
   } else {
     std::fprintf(stderr, "unknown op '%s'\n", args.op.c_str());
@@ -270,8 +296,8 @@ int main(int argc, char** argv) {
     if (configs.empty() || configs.back().nodes != args.nodes) {
       configs.push_back({args.nodes, args.ppn});
     }
-    const auto table = mpibench::measure_isend_table(opt, args.sizes,
-                                                     configs);
+    const auto table = mpibench::measure_isend_table(opt, args.sizes, configs,
+                                                     args.jobs);
     std::ofstream out{args.table_file};
     if (!out) {
       std::fprintf(stderr, "cannot write %s\n", args.table_file.c_str());
