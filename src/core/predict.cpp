@@ -9,38 +9,62 @@
 
 namespace pevpm {
 
+int replication_count(const PredictOptions& options) noexcept {
+  return options.sampler.mode == PredictionMode::kDistribution
+             ? options.replications
+             : 1;  // average/minimum modes are deterministic
+}
+
+std::vector<std::uint64_t> replication_seeds(const PredictOptions& options) {
+  // Seeds are drawn serially up front so the per-replication streams are a
+  // pure function of options.seed, independent of any fan-out.
+  stats::Rng seeder{options.seed};
+  std::vector<std::uint64_t> seeds(
+      static_cast<std::size_t>(std::max(replication_count(options), 0)));
+  for (auto& seed : seeds) seed = seeder();
+  return seeds;
+}
+
+SimulationResult run_replication(const Model& model, int numprocs,
+                                 const Bindings& overrides,
+                                 const mpibench::DistributionTable& table,
+                                 const PredictOptions& options, int rep,
+                                 std::uint64_t seed) {
+  DeliverySampler sampler{table, options.sampler, seed};
+  SimulationResult result = simulate(model, numprocs, overrides, sampler);
+  if (options.tracer != nullptr && options.tracer->enabled()) {
+    options.tracer->record(
+        des::from_seconds(result.makespan), trace::Category::kPevpm, rep,
+        "replication makespan_s=" + std::to_string(result.makespan) +
+            (result.deadlocked ? " deadlocked" : ""));
+  }
+  return result;
+}
+
+Prediction reduce_replications(std::vector<SimulationResult> results) {
+  Prediction prediction;
+  for (const SimulationResult& result : results) {
+    prediction.makespan.add(result.makespan);
+    prediction.deadlocked = prediction.deadlocked || result.deadlocked;
+  }
+  if (!results.empty()) prediction.detail = std::move(results.back());
+  return prediction;
+}
+
 Prediction predict(const Model& model, int numprocs,
                    const Bindings& overrides,
                    const mpibench::DistributionTable& table,
                    const PredictOptions& options) {
   Prediction prediction;
-  stats::Rng seeder{options.seed};
-  const int reps =
-      options.sampler.mode == PredictionMode::kDistribution
-          ? options.replications
-          : 1;  // average/minimum modes are deterministic
-  // Seeds are drawn serially up front so the per-replication streams are a
-  // pure function of options.seed, independent of the fan-out below.
-  std::vector<std::uint64_t> seeds(static_cast<std::size_t>(std::max(reps, 0)));
-  for (auto& seed : seeds) seed = seeder();
-
-  auto run_replication = [&](int rep) {
-    DeliverySampler sampler{table, options.sampler, seeds[rep]};
-    SimulationResult result = simulate(model, numprocs, overrides, sampler);
-    if (options.tracer != nullptr && options.tracer->enabled()) {
-      options.tracer->record(
-          des::from_seconds(result.makespan), trace::Category::kPevpm, rep,
-          "replication makespan_s=" + std::to_string(result.makespan) +
-              (result.deadlocked ? " deadlocked" : ""));
-    }
-    return result;
-  };
+  const std::vector<std::uint64_t> seeds = replication_seeds(options);
+  const int reps = replication_count(options);
 
   const unsigned threads = std::min<unsigned>(
       resolve_threads(options.threads), static_cast<unsigned>(std::max(reps, 1)));
   if (threads <= 1) {
     for (int rep = 0; rep < reps; ++rep) {
-      SimulationResult result = run_replication(rep);
+      SimulationResult result = run_replication(model, numprocs, overrides,
+                                                table, options, rep, seeds[rep]);
       prediction.makespan.add(result.makespan);
       prediction.deadlocked = prediction.deadlocked || result.deadlocked;
       if (rep == reps - 1) prediction.detail = std::move(result);
@@ -58,7 +82,8 @@ Prediction predict(const Model& model, int numprocs,
   std::vector<unsigned char> deadlocked(static_cast<std::size_t>(reps), 0);
   SimulationResult detail;
   parallel_for(reps, threads, [&](int rep) {
-    SimulationResult result = run_replication(rep);
+    SimulationResult result = run_replication(model, numprocs, overrides,
+                                              table, options, rep, seeds[rep]);
     makespans[rep] = result.makespan;
     deadlocked[rep] = result.deadlocked ? 1 : 0;
     if (rep == reps - 1) detail = std::move(result);

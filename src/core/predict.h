@@ -52,6 +52,37 @@ struct Prediction {
                                  const mpibench::DistributionTable& table,
                                  const PredictOptions& options);
 
+// --- Per-replication decomposition -----------------------------------
+// predict() is a reduction over the three functions below; they are exposed
+// so an external scheduler (the pevpmd service) can interleave replications
+// from many concurrent requests onto one shared worker pool and still
+// reproduce predict()'s output bit for bit: seeds are a pure function of
+// options.seed, each replication is independent, and the reduction is
+// defined over replication order rather than completion order.
+
+/// Number of Monte-Carlo replications the options imply (the deterministic
+/// average/minimum modes collapse to one).
+[[nodiscard]] int replication_count(const PredictOptions& options) noexcept;
+
+/// The per-replication sampler seeds, drawn serially from options.seed.
+[[nodiscard]] std::vector<std::uint64_t> replication_seeds(
+    const PredictOptions& options);
+
+/// Evaluates replication `rep` with sampler seed `seed`. Safe to call
+/// concurrently for distinct reps: each call owns its sampler and Vm state
+/// and only reads the shared model/table. Records the per-replication
+/// tracer event when options.tracer is enabled.
+[[nodiscard]] SimulationResult run_replication(
+    const Model& model, int numprocs, const Bindings& overrides,
+    const mpibench::DistributionTable& table, const PredictOptions& options,
+    int rep, std::uint64_t seed);
+
+/// Reduces per-replication results — which must be in replication order —
+/// into a Prediction exactly as predict() does (Welford updates in order,
+/// detail taken from the final replication).
+[[nodiscard]] Prediction reduce_replications(
+    std::vector<SimulationResult> results);
+
 /// One speedup-curve point: predicted time and speedup vs the 1-process
 /// evaluation of the same model.
 struct SpeedupPoint {

@@ -1,0 +1,148 @@
+#include "core/request.h"
+
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+
+namespace pevpm {
+
+bool parse_mode(std::string_view text, SamplerOptions& sampler) {
+  if (text == "distribution") {
+    sampler.mode = PredictionMode::kDistribution;
+  } else if (text == "average") {
+    sampler.mode = PredictionMode::kAverage;
+  } else if (text == "minimum") {
+    sampler.mode = PredictionMode::kMinimum;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_contention(std::string_view text, SamplerOptions& sampler) {
+  if (text == "scoreboard") {
+    sampler.contention = ContentionSource::kScoreboard;
+    return true;
+  }
+  if (text.rfind("fixed:", 0) == 0) {
+    const std::string_view level = text.substr(6);
+    int value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(level.data(), level.data() + level.size(), value);
+    if (ec != std::errc{} || ptr != level.data() + level.size()) return false;
+    sampler.contention = ContentionSource::kFixed;
+    sampler.fixed_contention = value;
+    return true;
+  }
+  return false;
+}
+
+bool parse_procs(std::string_view text, std::vector<int>& out) {
+  std::vector<int> parsed;
+  std::stringstream ss{std::string{text}};
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    int value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(item.data(), item.data() + item.size(), value);
+    if (ec != std::errc{} || ptr != item.data() + item.size() || value <= 0) {
+      return false;
+    }
+    parsed.push_back(value);
+  }
+  if (parsed.empty()) return false;
+  out = std::move(parsed);
+  return true;
+}
+
+Model parse_request_model(const PredictRequest& request) {
+  const bool annotated =
+      request.model_text.find("// PEVPM") != std::string::npos;
+  return annotated
+             ? parse_annotated_source(request.model_text, request.model_name)
+             : parse_model(request.model_text, request.model_name);
+}
+
+std::string format_report_header(const Model& model,
+                                 std::string_view table_label,
+                                 std::size_t table_entries) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "model %s (%d directives), table %.*s (%zu entries)\n\n",
+                model.name.c_str(), model.node_count,
+                static_cast<int>(table_label.size()), table_label.data(),
+                table_entries);
+  return buf;
+}
+
+std::string format_column_header() {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%8s %14s %14s %10s %8s\n", "procs",
+                "predicted_s", "sem_s", "messages", "status");
+  return buf;
+}
+
+std::string format_prediction_row(int procs, const Prediction& prediction,
+                                  bool losses) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%8d %14.6f %14.6f %10llu %8s\n", procs,
+                prediction.seconds(), prediction.makespan.sem(),
+                static_cast<unsigned long long>(prediction.detail.messages),
+                prediction.deadlocked ? "DEADLOCK" : "ok");
+  std::string out{buf};
+  if (prediction.deadlocked) {
+    out += "  blocked processes:";
+    for (std::size_t i = 0;
+         i < prediction.detail.deadlocked_processes.size() && i < 8; ++i) {
+      std::snprintf(buf, sizeof(buf), " %d(dir %d)",
+                    prediction.detail.deadlocked_processes[i],
+                    prediction.detail.deadlocked_directives[i]);
+      out += buf;
+    }
+    out += '\n';
+  }
+  if (losses) {
+    for (const auto& [directive, loss] : prediction.detail.top_losses(5)) {
+      std::snprintf(buf, sizeof(buf),
+                    "  loss: directive %d blocked %.4f s total\n", directive,
+                    loss);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+PredictReport format_report(const PredictRequest& request, const Model& model,
+                            std::size_t table_entries,
+                            const std::vector<Prediction>& predictions) {
+  PredictReport report;
+  report.summary =
+      format_report_header(model, request.table_label, table_entries);
+  report.summary += format_column_header();
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    report.summary += format_prediction_row(request.procs[i], predictions[i],
+                                            request.losses);
+    report.deadlocked = report.deadlocked || predictions[i].deadlocked;
+  }
+  return report;
+}
+
+PredictReport run_request(const PredictRequest& request, const Model& model,
+                          const mpibench::DistributionTable& table) {
+  std::vector<Prediction> predictions;
+  predictions.reserve(request.procs.size());
+  for (const int procs : request.procs) {
+    predictions.push_back(
+        predict(model, procs, request.overrides, table, request.options));
+  }
+  return format_report(request, model, table.size(), predictions);
+}
+
+PredictReport run_request(const PredictRequest& request) {
+  const Model model = parse_request_model(request);
+  std::istringstream table_in{request.table_text};
+  const auto table = mpibench::DistributionTable::load(table_in);
+  return run_request(request, model, table);
+}
+
+}  // namespace pevpm

@@ -1,0 +1,26 @@
+#include "core/version.h"
+
+#ifndef PEVPM_GIT_DESCRIBE
+#define PEVPM_GIT_DESCRIBE "unknown"
+#endif
+#ifndef PEVPM_BUILD_TYPE
+#define PEVPM_BUILD_TYPE "unknown"
+#endif
+
+namespace pevpm {
+
+std::string version_string(std::string_view tool) {
+  std::string out{tool};
+  out += ' ';
+  out += PEVPM_GIT_DESCRIBE;
+  out += " (";
+  out += PEVPM_BUILD_TYPE;
+  out += ')';
+  return out;
+}
+
+std::string_view git_describe() noexcept { return PEVPM_GIT_DESCRIBE; }
+
+std::string_view build_type() noexcept { return PEVPM_BUILD_TYPE; }
+
+}  // namespace pevpm

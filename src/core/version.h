@@ -1,0 +1,24 @@
+// Build identification shared by every command-line tool.
+//
+// The version string combines the git describe output captured at configure
+// time with the CMake build type, so "--version" output names the exact
+// tree and optimisation level a binary was produced from.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace pevpm {
+
+/// "<tool> <git describe> (<build type>)", e.g.
+/// "pevpmd f5b2911 (RelWithDebInfo)".
+[[nodiscard]] std::string version_string(std::string_view tool);
+
+/// The raw git describe value ("unknown" when the tree was not a git
+/// checkout at configure time).
+[[nodiscard]] std::string_view git_describe() noexcept;
+
+/// The CMake build type the binary was compiled with.
+[[nodiscard]] std::string_view build_type() noexcept;
+
+}  // namespace pevpm

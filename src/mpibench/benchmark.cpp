@@ -179,7 +179,10 @@ std::vector<PointToPointResult> run_isend_sweep(
   std::vector<PointToPointResult> results(sizes.size());
   pevpm::parallel_for(
       static_cast<int>(sizes.size()), pevpm::resolve_threads(jobs),
-      [&](int i) { results[i] = run_isend(options, sizes[i]); });
+      [&](int i) {
+        if (options.cancelled()) return;  // leave the slot default (skipped)
+        results[i] = run_isend(options, sizes[i]);
+      });
   return results;
 }
 
@@ -195,6 +198,7 @@ DistributionTable measure_isend_table(Options options,
   std::vector<PointToPointResult> results(cells);
   pevpm::parallel_for(
       cells, pevpm::resolve_threads(jobs), [&](int i) {
+        if (options.cancelled()) return;  // leave the slot default (skipped)
         Options local = options;
         const Config& config = configs[i / sizes.size()];
         local.cluster.nodes = config.nodes;
@@ -210,6 +214,7 @@ DistributionTable measure_isend_table(Options options,
         std::max(1, configs[c].nodes * configs[c].procs_per_node / 2);
     for (std::size_t s = 0; s < sizes.size(); ++s) {
       PointToPointResult& result = results[c * sizes.size() + s];
+      if (result.messages == 0 && options.cancelled()) continue;  // skipped
       table.insert(OpKind::kPtpOneWay, sizes[s], contention,
                    result.distribution());
       table.insert(OpKind::kPtpSender, sizes[s], contention,

@@ -9,6 +9,7 @@
 // as it would be by a communication-dense application.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -30,8 +31,18 @@ struct Options {
   int sync_rounds = 32;          ///< clock-sync ping-pongs per rank
   int resync_interval = 64;      ///< barrier every this many repetitions
 
+  /// Optional cooperative-cancellation flag (typically set from a SIGINT
+  /// handler). Sweeps check it between cells: cells already running finish
+  /// normally, unstarted cells are skipped and left default-initialised
+  /// (messages == 0), so completed work can still be flushed.
+  const std::atomic<bool>* cancel = nullptr;
+
   [[nodiscard]] int nprocs() const noexcept {
     return cluster.nodes * procs_per_node;
+  }
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancel != nullptr && cancel->load(std::memory_order_relaxed);
   }
 };
 

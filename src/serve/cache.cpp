@@ -1,0 +1,98 @@
+#include "serve/cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace serve {
+
+std::uint64_t content_hash(std::string_view text) noexcept {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+ArtifactCache::ArtifactCache(std::size_t capacity)
+    : capacity_{std::max<std::size_t>(1, capacity)} {
+  stats_.capacity = capacity_;
+}
+
+std::shared_ptr<const void> ArtifactCache::get_or_load(
+    Kind kind, std::string_view text,
+    const std::function<std::shared_ptr<const void>()>& load) {
+  const Key key{kind, content_hash(text), text.size()};
+  std::unique_lock lock{mu_};
+  if (const auto it = entries_.find(key); it != entries_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second.lru);
+    return it->second.artifact;
+  }
+  ++stats_.misses;
+  // Parse outside the lock: loads can be slow and concurrent misses on
+  // *different* artifacts should not serialise. A racing miss on the same
+  // key just parses twice and the second insert wins — wasted work, never
+  // wrong, because artifacts are immutable.
+  lock.unlock();
+  std::shared_ptr<const void> artifact = load();
+  lock.lock();
+  if (const auto it = entries_.find(key); it != entries_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru);
+    return it->second.artifact;
+  }
+  lru_.push_front(key);
+  entries_.insert_or_assign(key, Entry{artifact, lru_.begin()});
+  while (entries_.size() > capacity_) {
+    const Key victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+  stats_.entries = entries_.size();
+  return artifact;
+}
+
+std::shared_ptr<const pevpm::Model> ArtifactCache::model(
+    std::string_view text, const std::function<pevpm::Model()>& load) {
+  auto artifact = get_or_load(Kind::kModel, text, [&] {
+    return std::shared_ptr<const void>{
+        std::make_shared<const pevpm::Model>(load())};
+  });
+  return std::static_pointer_cast<const pevpm::Model>(artifact);
+}
+
+std::shared_ptr<const mpibench::DistributionTable> ArtifactCache::table(
+    std::string_view text,
+    const std::function<mpibench::DistributionTable()>& load) {
+  auto artifact = get_or_load(Kind::kTable, text, [&] {
+    return std::shared_ptr<const void>{
+        std::make_shared<const mpibench::DistributionTable>(load())};
+  });
+  return std::static_pointer_cast<const mpibench::DistributionTable>(artifact);
+}
+
+std::shared_ptr<const net::ClusterParams> ArtifactCache::cluster(
+    std::string_view text, const std::function<net::ClusterParams()>& load) {
+  auto artifact = get_or_load(Kind::kCluster, text, [&] {
+    return std::shared_ptr<const void>{
+        std::make_shared<const net::ClusterParams>(load())};
+  });
+  return std::static_pointer_cast<const net::ClusterParams>(artifact);
+}
+
+CacheStats ArtifactCache::stats() const {
+  std::lock_guard lock{mu_};
+  CacheStats out = stats_;
+  out.entries = entries_.size();
+  return out;
+}
+
+void ArtifactCache::clear() {
+  std::lock_guard lock{mu_};
+  entries_.clear();
+  lru_.clear();
+  stats_.entries = 0;
+}
+
+}  // namespace serve

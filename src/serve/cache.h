@@ -1,0 +1,95 @@
+// LRU artifact cache for the prediction service.
+//
+// Parsing a PEVPM model and loading a distribution table from text are the
+// expensive, perfectly shareable parts of a prediction request; the daemon
+// keys the parsed artifacts by a content hash of the request text so that
+// repeated queries — the common case for a what-if service — skip
+// parse/load entirely, whatever path or label the client attached.
+//
+// Keys are (kind, FNV-1a 64 of the text, text length); values are
+// shared_ptrs so an artifact can be evicted while in-flight requests still
+// hold it. All operations are thread-safe; hit/miss/eviction counters feed
+// the /stats endpoint.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string_view>
+
+#include "core/model.h"
+#include "mpibench/table.h"
+#include "net/calibration.h"
+
+namespace serve {
+
+/// FNV-1a 64-bit content hash (the cache key ingredient; also exposed for
+/// tests and for request de-duplication diagnostics).
+[[nodiscard]] std::uint64_t content_hash(std::string_view text) noexcept;
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t capacity = 0;
+};
+
+class ArtifactCache {
+ public:
+  /// `capacity` bounds the number of resident artifacts (>= 1).
+  explicit ArtifactCache(std::size_t capacity);
+
+  /// Returns the parsed model for `text`, loading via `load` on a miss.
+  /// `load` runs outside the lock, so concurrent misses on different
+  /// artifacts parse in parallel (a racing miss on the same key parses
+  /// twice; the artifacts are immutable so either copy is valid). `load`
+  /// may throw, in which case nothing is cached and the exception
+  /// propagates.
+  [[nodiscard]] std::shared_ptr<const pevpm::Model> model(
+      std::string_view text,
+      const std::function<pevpm::Model()>& load);
+
+  [[nodiscard]] std::shared_ptr<const mpibench::DistributionTable> table(
+      std::string_view text,
+      const std::function<mpibench::DistributionTable()>& load);
+
+  [[nodiscard]] std::shared_ptr<const net::ClusterParams> cluster(
+      std::string_view text,
+      const std::function<net::ClusterParams()>& load);
+
+  [[nodiscard]] CacheStats stats() const;
+
+  void clear();
+
+ private:
+  enum class Kind : int { kModel, kTable, kCluster };
+
+  struct Key {
+    Kind kind;
+    std::uint64_t hash;
+    std::size_t length;
+    [[nodiscard]] auto operator<=>(const Key&) const = default;
+  };
+
+  struct Entry {
+    std::shared_ptr<const void> artifact;
+    std::list<Key>::iterator lru;  ///< position in lru_ (front = hottest)
+  };
+
+  [[nodiscard]] std::shared_ptr<const void> get_or_load(
+      Kind kind, std::string_view text,
+      const std::function<std::shared_ptr<const void>()>& load);
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::map<Key, Entry> entries_;
+  std::list<Key> lru_;  ///< most recently used first
+  CacheStats stats_;
+};
+
+}  // namespace serve

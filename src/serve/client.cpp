@@ -1,0 +1,110 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace serve {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error{what + ": " + std::strerror(errno)};
+}
+
+}  // namespace
+
+Client Client::connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error{"unix socket path too long: " + path};
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_UNIX)");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    throw_errno("connect(" + path + ")");
+  }
+  return Client{fd};
+}
+
+Client Client::connect_tcp(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error{"bad address " + host};
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_INET)");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    throw_errno("connect(" + host + ":" + std::to_string(port) + ")");
+  }
+  return Client{fd};
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_{std::exchange(other.fd_, -1)},
+      buffer_{std::move(other.buffer_)} {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string Client::call_raw(const std::string& line) {
+  std::string out = line;
+  out.push_back('\n');
+  const char* data = out.data();
+  std::size_t size = out.size();
+  while (size > 0) {
+    const ssize_t n = ::write(fd_, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write");
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  for (;;) {
+    const auto newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string response = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return response;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      throw std::runtime_error{"connection closed while awaiting response"};
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+Json Client::call(const Json& request) {
+  return Json::parse(call_raw(request.dump()));
+}
+
+}  // namespace serve

@@ -1,0 +1,47 @@
+// Blocking client for the pevpmd newline-delimited JSON protocol.
+//
+// One Client wraps one connected socket (Unix-domain or loopback TCP) and
+// issues requests strictly in order: call() writes one request line and
+// blocks for the matching response line. The `pevpm --server` client mode,
+// the serve_load generator and the service tests all sit on this.
+#pragma once
+
+#include <string>
+
+#include "serve/json.h"
+
+namespace serve {
+
+class Client {
+ public:
+  /// Connects to a Unix-domain socket; throws std::runtime_error on
+  /// failure.
+  [[nodiscard]] static Client connect_unix(const std::string& path);
+
+  /// Connects to a TCP endpoint ("127.0.0.1", port typically); throws
+  /// std::runtime_error on failure.
+  [[nodiscard]] static Client connect_tcp(const std::string& host, int port);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Sends one request object and blocks for its response object. Throws
+  /// std::runtime_error on transport errors (connection closed mid-call)
+  /// and JsonError on an unparseable response.
+  [[nodiscard]] Json call(const Json& request);
+
+  /// Raw variant: `line` must be one JSON object without the trailing
+  /// newline; returns the response line verbatim.
+  [[nodiscard]] std::string call_raw(const std::string& line);
+
+ private:
+  explicit Client(int fd) : fd_{fd} {}
+
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read past the last response line
+};
+
+}  // namespace serve

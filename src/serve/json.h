@@ -1,0 +1,105 @@
+// Minimal JSON value type for the pevpmd wire protocol.
+//
+// The daemon speaks newline-delimited JSON over a socket; this is the
+// self-contained parser/serialiser behind it (the toolchain image carries
+// no JSON library, and the protocol is small enough not to want one).
+//
+// Numbers keep their source lexeme alongside the double conversion, so
+// 64-bit integers — Monte-Carlo seeds in particular — survive a
+// parse/dump round trip exactly instead of being squeezed through a
+// double's 53-bit mantissa.
+//
+// parse() throws JsonError on malformed input (with a byte offset) and
+// enforces a nesting-depth bound so adversarial frames cannot blow the
+// stack. dump() emits compact JSON with escaped strings; non-finite
+// numbers serialise as null (JSON has no spelling for them).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace serve {
+
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json, std::less<>>;
+
+  Json() noexcept : value_{nullptr} {}
+  Json(std::nullptr_t) noexcept : value_{nullptr} {}  // NOLINT(google-explicit-constructor)
+  Json(bool b) noexcept : value_{b} {}                // NOLINT(google-explicit-constructor)
+  Json(double v);                                     // NOLINT(google-explicit-constructor)
+  Json(int v);                                        // NOLINT(google-explicit-constructor)
+  Json(std::int64_t v);                               // NOLINT(google-explicit-constructor)
+  Json(std::uint64_t v);                              // NOLINT(google-explicit-constructor)
+  Json(const char* s) : value_{std::string{s}} {}     // NOLINT(google-explicit-constructor)
+  Json(std::string s) : value_{std::move(s)} {}       // NOLINT(google-explicit-constructor)
+  Json(std::string_view s) : value_{std::string{s}} {}  // NOLINT(google-explicit-constructor)
+  Json(Array a) : value_{std::move(a)} {}             // NOLINT(google-explicit-constructor)
+  Json(Object o) : value_{std::move(o)} {}            // NOLINT(google-explicit-constructor)
+
+  /// Parses exactly one JSON value (trailing whitespace allowed, trailing
+  /// content rejected). Throws JsonError on malformed input.
+  [[nodiscard]] static Json parse(std::string_view text);
+
+  [[nodiscard]] std::string dump() const;
+
+  [[nodiscard]] bool is_null() const noexcept {
+    return std::holds_alternative<std::nullptr_t>(value_);
+  }
+  [[nodiscard]] bool is_bool() const noexcept {
+    return std::holds_alternative<bool>(value_);
+  }
+  [[nodiscard]] bool is_number() const noexcept {
+    return std::holds_alternative<Number>(value_);
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return std::holds_alternative<std::string>(value_);
+  }
+  [[nodiscard]] bool is_array() const noexcept {
+    return std::holds_alternative<Array>(value_);
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return std::holds_alternative<Object>(value_);
+  }
+
+  /// Accessors throw JsonError on a type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] std::int64_t as_int64() const;   ///< exact for integer lexemes
+  [[nodiscard]] std::uint64_t as_uint64() const; ///< exact for integer lexemes
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+  [[nodiscard]] Array& as_array();
+  [[nodiscard]] Object& as_object();
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(std::string_view key) const noexcept;
+
+  /// Object member insertion (this value must be an object).
+  void set(std::string key, Json value);
+
+ private:
+  struct Number {
+    double value = 0.0;
+    std::string lexeme;  ///< source or canonical spelling, kept verbatim
+  };
+
+  std::variant<std::nullptr_t, bool, Number, std::string, Array, Object>
+      value_;
+
+  friend class JsonParser;
+};
+
+}  // namespace serve

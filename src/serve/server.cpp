@@ -1,0 +1,438 @@
+#include "serve/server.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/version.h"
+
+namespace serve {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error{what + ": " + std::strerror(errno)};
+}
+
+int listen_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error{"unix socket path too long: " + path};
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_UNIX)");
+  ::unlink(path.c_str());  // replace a stale socket file
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    throw_errno("bind(" + path + ")");
+  }
+  if (::listen(fd, 128) < 0) {
+    ::close(fd);
+    throw_errno("listen(" + path + ")");
+  }
+  return fd;
+}
+
+int listen_tcp(int port, int& bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // local service only
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    throw_errno("bind(127.0.0.1:" + std::to_string(port) + ")");
+  }
+  if (::listen(fd, 128) < 0) {
+    ::close(fd);
+    throw_errno("listen(tcp)");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    bound_port = ntohs(bound.sin_port);
+  } else {
+    bound_port = port;
+  }
+  return fd;
+}
+
+/// Writes the whole buffer, riding out EINTR/partial writes.
+bool write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+Json error_response(int status, std::string message) {
+  Json response;
+  response.set("status", Json{status});
+  response.set("error", Json{std::move(message)});
+  return response;
+}
+
+/// Reads the file at `path`; false (with message) when unreadable.
+bool slurp_file(const std::string& path, std::string& out,
+                std::string& error) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    error = "cannot open " + path;
+    return false;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+Json tail_to_json(const stats::TailSummary& tail) {
+  Json out;
+  out.set("count", Json{static_cast<std::uint64_t>(tail.count)});
+  out.set("mean_ms", Json{tail.mean * 1e3});
+  out.set("p50_ms", Json{tail.median * 1e3});
+  out.set("p99_ms", Json{tail.p99 * 1e3});
+  out.set("p999_ms", Json{tail.p999 * 1e3});
+  out.set("max_ms", Json{tail.max * 1e3});
+  return out;
+}
+
+}  // namespace
+
+Server::Server(const ServerOptions& options)
+    : options_{options}, service_{options.service} {
+  if (options_.unix_path.empty() && options_.tcp_port < 0) {
+    throw std::runtime_error{"server needs a unix path or a tcp port"};
+  }
+  if (::pipe(wake_pipe_) != 0) throw_errno("pipe");
+  try {
+    if (!options_.unix_path.empty()) {
+      unix_fd_ = listen_unix(options_.unix_path);
+    }
+    if (options_.tcp_port >= 0) {
+      tcp_fd_ = listen_tcp(options_.tcp_port, tcp_port_);
+    }
+  } catch (...) {
+    if (unix_fd_ >= 0) ::close(unix_fd_);
+    ::close(wake_pipe_[0]);
+    ::close(wake_pipe_[1]);
+    throw;
+  }
+}
+
+Server::~Server() {
+  shutdown();
+  if (unix_fd_ >= 0) ::close(unix_fd_);
+  if (tcp_fd_ >= 0) ::close(tcp_fd_);
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+}
+
+void Server::request_shutdown() noexcept {
+  // Async-signal-safe: one atomic store and one pipe write.
+  stop_requested_.store(true, std::memory_order_relaxed);
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+}
+
+void Server::shutdown() {
+  request_shutdown();
+  // Drain first so every in-flight request still answers; then half-close
+  // the connections (SHUT_RD: pending responses still flow out, the next
+  // read sees EOF) and join the handlers.
+  service_.drain();
+  {
+    std::lock_guard lock{connections_mu_};
+    for (const auto& connection : connections_) {
+      ::shutdown(connection->fd, SHUT_RD);
+    }
+  }
+  reap_connections(/*all=*/true);
+}
+
+void Server::reap_connections(bool all) {
+  std::list<std::unique_ptr<Connection>> finished;
+  {
+    std::lock_guard lock{connections_mu_};
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if (all || (*it)->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(*it));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const auto& connection : finished) {
+    if (connection->thread.joinable()) connection->thread.join();
+    if (connection->fd >= 0) ::close(connection->fd);
+  }
+}
+
+void Server::serve() {
+  while (!stop_requested_.load(std::memory_order_relaxed)) {
+    pollfd fds[3];
+    nfds_t nfds = 0;
+    fds[nfds++] = pollfd{wake_pipe_[0], POLLIN, 0};
+    if (unix_fd_ >= 0) fds[nfds++] = pollfd{unix_fd_, POLLIN, 0};
+    if (tcp_fd_ >= 0) fds[nfds++] = pollfd{tcp_fd_, POLLIN, 0};
+    const int ready = ::poll(fds, nfds, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (nfds_t i = 1; i < nfds; ++i) {
+      if ((fds[i].revents & POLLIN) == 0) continue;
+      const int client = ::accept(fds[i].fd, nullptr, nullptr);
+      if (client < 0) continue;
+      auto connection = std::make_unique<Connection>();
+      connection->fd = client;
+      Connection* raw = connection.get();
+      connection->thread =
+          std::thread{[this, raw] { handle_connection(raw); }};
+      {
+        std::lock_guard lock{connections_mu_};
+        connections_.push_back(std::move(connection));
+      }
+    }
+    reap_connections(/*all=*/false);
+  }
+  shutdown();
+}
+
+void Server::handle_connection(Connection* connection) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const auto newline = buffer.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      const std::string response = handle_line(line) + "\n";
+      if (!write_all(connection->fd, response.data(), response.size())) {
+        break;
+      }
+      continue;
+    }
+    const ssize_t n = ::read(connection->fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // peer closed (or shutdown() unblocked us)
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  // The fd stays open (and owned by the Connection) until the reaper has
+  // joined this thread — closing here could race shutdown()'s half-close
+  // against a recycled descriptor number.
+  connection->done.store(true, std::memory_order_release);
+}
+
+std::string Server::handle_line(const std::string& line) {
+  Json response;
+  const Json* id = nullptr;
+  Json parsed;
+  try {
+    parsed = Json::parse(line);
+    if (!parsed.is_object()) {
+      throw JsonError{"request must be a JSON object"};
+    }
+    id = parsed.find("id");
+    response = dispatch(parsed);
+  } catch (const JsonError& e) {
+    response = error_response(400, e.what());
+  } catch (const std::exception& e) {
+    response = error_response(500, e.what());
+  }
+  if (id != nullptr) response.set("id", *id);
+  return response.dump();
+}
+
+Json Server::dispatch(const Json& request) {
+  const Json* type = request.find("type");
+  const std::string kind = type != nullptr ? type->as_string() : "predict";
+  if (kind == "predict") return handle_predict(request);
+  if (kind == "cluster") return handle_cluster(request);
+  if (kind == "stats") return handle_stats();
+  if (kind == "ping") {
+    Json response;
+    response.set("status", Json{200});
+    response.set("pong", Json{true});
+    response.set("version", Json{pevpm::version_string("pevpmd")});
+    return response;
+  }
+  return error_response(400, "unknown request type \"" + kind + "\"");
+}
+
+Json Server::handle_predict(const Json& request) {
+  pevpm::PredictRequest predict;
+  double deadline_ms = 0.0;
+
+  // Model / table: by server-side path or as inline text.
+  std::string error;
+  if (const Json* text = request.find("model_text")) {
+    predict.model_text = text->as_string();
+    predict.model_name = "model";
+  } else if (const Json* path = request.find("model")) {
+    if (!slurp_file(path->as_string(), predict.model_text, error)) {
+      return error_response(400, error);
+    }
+    predict.model_name = path->as_string();
+  } else {
+    return error_response(400, "request needs \"model\" or \"model_text\"");
+  }
+  if (const Json* text = request.find("table_text")) {
+    predict.table_text = text->as_string();
+    predict.table_label = "<inline>";
+  } else if (const Json* path = request.find("table")) {
+    if (!slurp_file(path->as_string(), predict.table_text, error)) {
+      return error_response(400, error);
+    }
+    predict.table_label = path->as_string();
+  } else {
+    return error_response(400, "request needs \"table\" or \"table_text\"");
+  }
+  if (const Json* name = request.find("model_name")) {
+    predict.model_name = name->as_string();
+  }
+  if (const Json* label = request.find("table_label")) {
+    predict.table_label = label->as_string();
+  }
+
+  if (const Json* procs = request.find("procs")) {
+    if (procs->is_array()) {
+      for (const Json& value : procs->as_array()) {
+        predict.procs.push_back(static_cast<int>(value.as_int64()));
+      }
+    } else if (!pevpm::parse_procs(procs->as_string(), predict.procs)) {
+      return error_response(400, "bad procs list");
+    }
+  } else {
+    return error_response(400, "request needs \"procs\"");
+  }
+
+  if (const Json* mode = request.find("mode")) {
+    if (!pevpm::parse_mode(mode->as_string(), predict.options.sampler)) {
+      return error_response(400, "bad mode \"" + mode->as_string() + "\"");
+    }
+  }
+  if (const Json* contention = request.find("contention")) {
+    if (!pevpm::parse_contention(contention->as_string(),
+                                 predict.options.sampler)) {
+      return error_response(
+          400, "bad contention \"" + contention->as_string() + "\"");
+    }
+  }
+  if (const Json* reps = request.find("reps")) {
+    predict.options.replications = static_cast<int>(reps->as_int64());
+  }
+  if (const Json* threads = request.find("threads")) {
+    // Accepted for CLI compatibility; scheduling belongs to the service
+    // and determinism makes the thread count unobservable in the reply.
+    predict.options.threads = static_cast<int>(threads->as_int64());
+  }
+  if (const Json* seed = request.find("seed")) {
+    predict.options.seed = seed->as_uint64();
+  }
+  if (const Json* losses = request.find("losses")) {
+    predict.losses = losses->as_bool();
+  }
+  if (const Json* overrides = request.find("set")) {
+    for (const auto& [name, value] : overrides->as_object()) {
+      predict.overrides[name] = value.as_double();
+    }
+  }
+  if (const Json* deadline = request.find("deadline_ms")) {
+    deadline_ms = deadline->as_double();
+  }
+
+  const Service::Response result = service_.predict(predict, deadline_ms);
+  Json response;
+  response.set("status", Json{result.status});
+  if (result.status == 200) {
+    response.set("summary", Json{result.summary});
+    response.set("deadlocked", Json{result.deadlocked});
+  } else {
+    response.set("error", Json{result.error});
+    if (result.status == 503) {
+      response.set("retry_after_ms", Json{result.retry_after_ms});
+    }
+  }
+  return response;
+}
+
+Json Server::handle_cluster(const Json& request) {
+  std::string text;
+  if (const Json* inline_text = request.find("cluster_text")) {
+    text = inline_text->as_string();
+  } else if (const Json* path = request.find("cluster")) {
+    std::string error;
+    if (!slurp_file(path->as_string(), text, error)) {
+      return error_response(400, error);
+    }
+  } else {
+    return error_response(400,
+                          "request needs \"cluster\" or \"cluster_text\"");
+  }
+  const Service::Response result = service_.describe_cluster(text);
+  if (result.status != 200) return error_response(result.status, result.error);
+  Json response;
+  response.set("status", Json{200});
+  response.set("summary", Json{result.summary});
+  return response;
+}
+
+Json Server::handle_stats() const {
+  const ServiceStats stats = service_.stats();
+  Json cache;
+  cache.set("hits", Json{stats.cache.hits});
+  cache.set("misses", Json{stats.cache.misses});
+  cache.set("evictions", Json{stats.cache.evictions});
+  cache.set("entries", Json{static_cast<std::uint64_t>(stats.cache.entries)});
+  cache.set("capacity",
+            Json{static_cast<std::uint64_t>(stats.cache.capacity)});
+  Json body;
+  body.set("queue_depth", Json{static_cast<std::uint64_t>(stats.queue_depth)});
+  body.set("in_flight", Json{static_cast<std::uint64_t>(stats.in_flight)});
+  body.set("accepted", Json{stats.accepted});
+  body.set("rejected", Json{stats.rejected});
+  body.set("completed", Json{stats.completed});
+  body.set("deadline_expired", Json{stats.deadline_expired});
+  body.set("failed", Json{stats.failed});
+  body.set("bad_requests", Json{stats.bad_requests});
+  body.set("cache", std::move(cache));
+  body.set("predict_latency", tail_to_json(stats.predict_latency));
+  body.set("queue_wait", tail_to_json(stats.queue_wait));
+  body.set("draining", Json{stats.draining});
+  body.set("threads",
+           Json{static_cast<std::uint64_t>(service_.threads())});
+  Json response;
+  response.set("status", Json{200});
+  response.set("stats", std::move(body));
+  return response;
+}
+
+}  // namespace serve

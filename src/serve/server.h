@@ -1,0 +1,109 @@
+// Socket front end for the prediction service.
+//
+// Listens on a Unix-domain socket (and optionally a loopback TCP port) and
+// speaks newline-delimited JSON: one request object per line, one response
+// object per line, in order, per connection. Concurrency comes from
+// concurrent connections — each gets a handler thread that blocks in
+// Service::predict(), which is where queueing, fairness and admission
+// control actually live.
+//
+// Request objects (all share optional "id", echoed back):
+//   {"type":"predict", "model":PATH|"model_text":TEXT, "model_name":TEXT,
+//    "table":PATH|"table_text":TEXT, "procs":[4,8]|"4,8",
+//    "mode":"distribution|average|minimum",
+//    "contention":"scoreboard|fixed:N", "reps":R, "seed":S,
+//    "set":{"name":value,...}, "losses":BOOL, "deadline_ms":D,
+//    "table_label":TEXT, "threads":N (accepted, ignored — determinism
+//    makes the worker count unobservable in the reply)}
+//   {"type":"stats"}    -> queue/cache/latency counters
+//   {"type":"cluster", "cluster":PATH|"cluster_text":TEXT}
+//   {"type":"ping"}
+// Responses carry "status" (200/400/500/503/504); 200 predict responses
+// carry "summary" — byte-identical to the pevpm CLI's stdout block —
+// and "deadlocked"; 503 responses carry "retry_after_ms".
+//
+// shutdown() (or the async-signal-safe request_shutdown(), for SIGTERM
+// handlers) stops accepting, drains the service so every in-flight request
+// still answers, then unblocks and joins the connection threads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "serve/json.h"
+#include "serve/service.h"
+
+namespace serve {
+
+struct ServerOptions {
+  /// Path for the Unix-domain listener; empty disables it. An existing
+  /// socket file at the path is replaced.
+  std::string unix_path;
+  /// Loopback TCP port; 0 picks an ephemeral port (see tcp_port()), and a
+  /// negative value disables the TCP listener.
+  int tcp_port = -1;
+  ServiceOptions service{};
+};
+
+class Server {
+ public:
+  /// Binds and listens; throws std::runtime_error on socket errors or when
+  /// both listeners are disabled.
+  explicit Server(const ServerOptions& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Accept loop. Returns once shutdown completes (all requests answered,
+  /// handler threads joined).
+  void serve();
+
+  /// Stops accepting and drains; returns when serve() is about to. Safe
+  /// from any thread except a signal handler (use request_shutdown there).
+  void shutdown();
+
+  /// Async-signal-safe shutdown nudge: wakes the accept loop via the
+  /// self-pipe. serve() then performs the actual drain.
+  void request_shutdown() noexcept;
+
+  /// Actual TCP port (useful with tcp_port = 0), or -1 when disabled.
+  [[nodiscard]] int tcp_port() const noexcept { return tcp_port_; }
+
+  [[nodiscard]] Service& service() noexcept { return service_; }
+
+  /// Handles one request line and returns the response line (no trailing
+  /// newline). Exposed for protocol tests; thread-safe.
+  [[nodiscard]] std::string handle_line(const std::string& line);
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void handle_connection(Connection* connection);
+  void reap_connections(bool all);
+  [[nodiscard]] Json dispatch(const Json& request);
+  [[nodiscard]] Json handle_predict(const Json& request);
+  [[nodiscard]] Json handle_cluster(const Json& request);
+  [[nodiscard]] Json handle_stats() const;
+
+  ServerOptions options_;
+  Service service_;
+  int unix_fd_ = -1;
+  int tcp_fd_ = -1;
+  int tcp_port_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::atomic<bool> stop_requested_{false};
+  std::mutex connections_mu_;
+  std::list<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace serve

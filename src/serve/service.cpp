@@ -1,0 +1,366 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "net/cluster.h"
+
+namespace serve {
+
+namespace {
+
+constexpr std::size_t kLatencyReservoir = 4096;
+
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+void reservoir_push(std::vector<double>& samples, std::size_t& next,
+                    double value) {
+  if (samples.size() < kLatencyReservoir) {
+    samples.push_back(value);
+  } else {
+    samples[next] = value;
+    next = (next + 1) % kLatencyReservoir;
+  }
+}
+
+}  // namespace
+
+Service::Service(const ServiceOptions& options)
+    : options_{options},
+      cache_{options.cache_capacity},
+      pool_{pevpm::resolve_threads(options.threads)} {}
+
+Service::~Service() { drain(); }
+
+std::int64_t Service::now_ns() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              epoch_)
+      .count();
+}
+
+void Service::record_event(std::int64_t subject, const std::string& detail) {
+  if (options_.tracer != nullptr && options_.tracer->enabled()) {
+    options_.tracer->record(now_ns(), trace::Category::kServe, subject,
+                            detail);
+  }
+}
+
+double Service::retry_after_ms_locked() const {
+  // Little's-law flavoured hint: the backlog ahead of a retry, paced by the
+  // pool, at the recently observed per-request latency.
+  double mean_latency_ms = 50.0;  // cold-start guess
+  if (!latency_samples_.empty()) {
+    double sum = 0.0;
+    for (const double s : latency_samples_) sum += s;
+    mean_latency_ms =
+        sum / static_cast<double>(latency_samples_.size()) * 1e3;
+  }
+  const double backlog = static_cast<double>(jobs_.size() + 1);
+  const double hint =
+      mean_latency_ms * backlog / static_cast<double>(pool_.size());
+  return std::max(1.0, hint);
+}
+
+void Service::finalize(Job& job) {
+  job.done = true;
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    if (jobs_[i] == &job) {
+      jobs_.erase(jobs_.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  if (cursor_ >= jobs_.size()) cursor_ = 0;
+  const double latency_s =
+      ms_between(job.admitted_at, Clock::now()) / 1e3;
+  const char* outcome = "completed";
+  if (job.expired) {
+    ++deadline_expired_;
+    outcome = "deadline_expired";
+  } else if (job.failed) {
+    ++failed_;
+    outcome = "failed";
+  } else {
+    ++completed_;
+    reservoir_push(latency_samples_, latency_next_, latency_s);
+  }
+  record_event(static_cast<std::int64_t>(job.id),
+               std::string{"request "} + outcome +
+                   " latency_ms=" + std::to_string(latency_s * 1e3) +
+                   " slices=" + std::to_string(job.finished) + "/" +
+                   std::to_string(job.total_slices));
+  job.done_cv.notify_all();
+  if (jobs_.empty()) idle_cv_.notify_all();
+}
+
+bool Service::pick_slice(Job*& out_job, std::size_t& out_slice) {
+  const auto now = Clock::now();
+  for (bool rescan = true; rescan;) {
+    rescan = false;
+    std::size_t scanned = 0;
+    while (scanned < jobs_.size()) {
+      if (cursor_ >= jobs_.size()) cursor_ = 0;
+      Job* job = jobs_[cursor_];
+      if (job->has_deadline && !job->expired && now >= job->deadline) {
+        job->expired = true;
+        record_event(static_cast<std::int64_t>(job->id),
+                     "request deadline expired, abandoning " +
+                         std::to_string(job->total_slices - job->started) +
+                         " unstarted slices");
+        if (job->started == job->finished) {
+          finalize(*job);  // erases the job; restart the scan
+          rescan = true;
+          break;
+        }
+      }
+      if (!job->expired && job->next_slice < job->total_slices) {
+        out_job = job;
+        out_slice = job->next_slice++;
+        ++job->started;
+        if (!job->first_slice_seen) {
+          job->first_slice_seen = true;
+          reservoir_push(wait_samples_, wait_next_,
+                         ms_between(job->admitted_at, now) / 1e3);
+        }
+        ++cursor_;  // fairness: next pick starts at the next job
+        return true;
+      }
+      ++cursor_;
+      ++scanned;
+    }
+  }
+  return false;
+}
+
+void Service::spawn_drainers() {
+  std::size_t startable = 0;
+  for (const Job* job : jobs_) {
+    if (!job->expired) startable += job->total_slices - job->next_slice;
+  }
+  while (drainers_ < pool_.size() &&
+         static_cast<std::size_t>(drainers_) < startable) {
+    ++drainers_;
+    pool_.submit([this] { drain_loop(); });
+  }
+}
+
+void Service::drain_loop() {
+  std::unique_lock lock{mu_};
+  for (;;) {
+    Job* job = nullptr;
+    std::size_t slice = 0;
+    if (!pick_slice(job, slice)) {
+      --drainers_;
+      return;
+    }
+    const std::size_t entry = slice / static_cast<std::size_t>(job->reps);
+    const auto rep = static_cast<int>(
+        slice % static_cast<std::size_t>(job->reps));
+    const int procs = job->request->procs[entry];
+    lock.unlock();
+    pevpm::SimulationResult result;
+    bool ok = true;
+    std::string error;
+    try {
+      result = pevpm::run_replication(
+          *job->model, procs, job->request->overrides, *job->table,
+          job->options, rep, job->seeds[static_cast<std::size_t>(rep)]);
+    } catch (const std::exception& e) {
+      ok = false;
+      error = e.what();
+    }
+    lock.lock();
+    ++job->finished;
+    if (ok) {
+      job->results[entry][static_cast<std::size_t>(rep)] = std::move(result);
+    } else if (!job->failed) {
+      job->failed = true;
+      job->error = std::move(error);
+    }
+    if (job->failed || job->expired) {
+      job->next_slice = job->total_slices;  // abandon unstarted slices
+      if (job->finished == job->started) finalize(*job);
+    } else if (job->finished == job->total_slices) {
+      finalize(*job);
+    }
+  }
+}
+
+Service::Response Service::predict(const pevpm::PredictRequest& request,
+                                   double deadline_ms) {
+  Response response;
+
+  // Resolve artifacts before admission: a malformed request is the
+  // client's fault and must not consume a queue slot (or evict anything a
+  // well-formed request cached).
+  std::shared_ptr<const pevpm::Model> model;
+  std::shared_ptr<const mpibench::DistributionTable> table;
+  try {
+    model = cache_.model(request.model_text,
+                         [&] { return parse_request_model(request); });
+    table = cache_.table(request.table_text, [&] {
+      std::istringstream in{request.table_text};
+      return mpibench::DistributionTable::load(in);
+    });
+  } catch (const std::exception& e) {
+    std::lock_guard lock{mu_};
+    ++bad_requests_;
+    response.status = 400;
+    response.error = e.what();
+    return response;
+  }
+  if (request.procs.empty() ||
+      std::any_of(request.procs.begin(), request.procs.end(),
+                  [](int p) { return p <= 0; })) {
+    std::lock_guard lock{mu_};
+    ++bad_requests_;
+    response.status = 400;
+    response.error = "procs must be a non-empty list of positive integers";
+    return response;
+  }
+
+  Job job;
+  job.request = &request;
+  job.model = std::move(model);
+  job.table = std::move(table);
+  job.options = request.options;
+  job.options.tracer = options_.tracer;
+  job.reps = pevpm::replication_count(job.options);
+  job.seeds = pevpm::replication_seeds(job.options);
+  job.results.assign(
+      request.procs.size(),
+      std::vector<pevpm::SimulationResult>(
+          static_cast<std::size_t>(std::max(job.reps, 0))));
+  job.total_slices =
+      request.procs.size() * static_cast<std::size_t>(std::max(job.reps, 0));
+
+  std::unique_lock lock{mu_};
+  job.id = next_job_id_++;
+  if (draining_) {
+    ++rejected_;
+    record_event(static_cast<std::int64_t>(job.id),
+                 "request rejected: draining");
+    response.status = 503;
+    response.error = "service is draining";
+    response.retry_after_ms = retry_after_ms_locked();
+    return response;
+  }
+  if (jobs_.size() >= options_.queue_capacity) {
+    ++rejected_;
+    response.retry_after_ms = retry_after_ms_locked();
+    record_event(static_cast<std::int64_t>(job.id),
+                 "request rejected: queue full (" +
+                     std::to_string(jobs_.size()) + "/" +
+                     std::to_string(options_.queue_capacity) +
+                     "), retry_after_ms=" +
+                     std::to_string(response.retry_after_ms));
+    response.status = 503;
+    response.error = "request queue is full";
+    return response;
+  }
+  ++accepted_;
+  job.admitted_at = Clock::now();
+  const double effective_deadline =
+      deadline_ms > 0.0 ? deadline_ms : options_.default_deadline_ms;
+  if (effective_deadline > 0.0) {
+    job.has_deadline = true;
+    job.deadline =
+        job.admitted_at +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double, std::milli>(effective_deadline));
+  }
+  jobs_.push_back(&job);
+  record_event(static_cast<std::int64_t>(job.id),
+               "request admitted procs=" +
+                   std::to_string(request.procs.size()) + " reps=" +
+                   std::to_string(job.reps) + " queue_depth=" +
+                   std::to_string(jobs_.size()));
+  if (job.total_slices == 0) {
+    finalize(job);
+  } else {
+    spawn_drainers();
+  }
+  job.done_cv.wait(lock, [&job] { return job.done; });
+
+  if (job.expired) {
+    response.status = 504;
+    response.error = "deadline exceeded";
+    return response;
+  }
+  if (job.failed) {
+    response.status = 500;
+    response.error = job.error;
+    return response;
+  }
+  lock.unlock();
+
+  // Reduce in replication order per procs entry — the byte-identity
+  // contract with the CLI's predict() path.
+  std::vector<pevpm::Prediction> predictions;
+  predictions.reserve(request.procs.size());
+  for (auto& replication_results : job.results) {
+    predictions.push_back(
+        pevpm::reduce_replications(std::move(replication_results)));
+  }
+  const pevpm::PredictReport report =
+      format_report(request, *job.model, job.table->size(), predictions);
+  response.summary = report.summary;
+  response.deadlocked = report.deadlocked;
+  return response;
+}
+
+Service::Response Service::describe_cluster(const std::string& cluster_text) {
+  Response response;
+  try {
+    const auto cluster = cache_.cluster(cluster_text, [&] {
+      std::istringstream in{cluster_text};
+      return net::parse_cluster(in, net::perseus(16));
+    });
+    response.summary = net::describe(*cluster);
+  } catch (const std::exception& e) {
+    std::lock_guard lock{mu_};
+    ++bad_requests_;
+    response.status = 400;
+    response.error = e.what();
+  }
+  return response;
+}
+
+ServiceStats Service::stats() const {
+  std::lock_guard lock{mu_};
+  ServiceStats out;
+  for (const Job* job : jobs_) {
+    if (job->first_slice_seen) {
+      ++out.in_flight;
+    } else {
+      ++out.queue_depth;
+    }
+  }
+  out.accepted = accepted_;
+  out.rejected = rejected_;
+  out.completed = completed_;
+  out.deadline_expired = deadline_expired_;
+  out.failed = failed_;
+  out.bad_requests = bad_requests_;
+  out.cache = cache_.stats();
+  out.predict_latency = stats::tail_summary(latency_samples_);
+  out.queue_wait = stats::tail_summary(wait_samples_);
+  out.draining = draining_;
+  return out;
+}
+
+void Service::drain() {
+  std::unique_lock lock{mu_};
+  draining_ = true;
+  idle_cv_.wait(lock, [this] { return jobs_.empty(); });
+}
+
+bool Service::draining() const {
+  std::lock_guard lock{mu_};
+  return draining_;
+}
+
+}  // namespace serve

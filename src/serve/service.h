@@ -1,0 +1,191 @@
+// The pevpmd prediction service core (transport-agnostic).
+//
+// A Service owns the resident state a fleet of prediction queries wants to
+// share: the parsed-artifact cache, one pevpm::ThreadPool, and the request
+// scheduler. The socket front end (server.h) is a thin shell over it, and
+// tests drive it directly.
+//
+// Scheduling: each admitted request ("job") decomposes into its
+// (procs entry x Monte-Carlo replication) slices via the per-replication
+// API in core/predict.h. Worker drainers on the shared pool pick slices
+// round-robin *across jobs*, so a 1000-replication request and a
+// 4-replication request admitted together finish in interleaved fashion
+// rather than head-of-line order — one huge query cannot starve small
+// ones. Slices store results into per-(entry, replication) slots and the
+// reduction runs in replication order, so a service reply is byte-identical
+// to `pevpm` run locally with the same model, table, procs and seed at any
+// thread count.
+//
+// Admission control: at most `queue_capacity` jobs may be in the system
+// (queued + running). Beyond that submissions are rejected immediately
+// with a 503-style response carrying a Retry-After hint derived from
+// observed service latency — the queue is bounded by refusal, not by
+// blocking, so overload cannot stall clients or grow memory without bound.
+// Each job may carry a deadline; expired jobs abandon their unstarted
+// slices and answer 504.
+//
+// drain() stops admission (503 "draining") and returns once in-flight jobs
+// have answered — the SIGTERM path.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/parallel.h"
+#include "core/request.h"
+#include "serve/cache.h"
+#include "stats/summary.h"
+#include "trace/trace.h"
+
+namespace serve {
+
+struct ServiceOptions {
+  /// Worker threads in the shared pool (pevpm::resolve_threads semantics:
+  /// <= 0 means one per hardware thread).
+  int threads = 0;
+  /// Bound on jobs in the system (queued + running); submissions beyond it
+  /// are rejected with status 503.
+  std::size_t queue_capacity = 64;
+  /// Resident parsed artifacts (models + tables + clusters).
+  std::size_t cache_capacity = 32;
+  /// Deadline applied to requests that do not carry their own (0 = none).
+  double default_deadline_ms = 0.0;
+  /// Optional request-lifecycle tracer (Category::kServe events, wall-clock
+  /// nanoseconds since service construction).
+  trace::Tracer* tracer = nullptr;
+};
+
+struct ServiceStats {
+  std::size_t queue_depth = 0;  ///< admitted jobs with no slice started yet
+  std::size_t in_flight = 0;    ///< jobs with at least one slice started
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t deadline_expired = 0;
+  std::uint64_t failed = 0;     ///< evaluation errors (status 500)
+  std::uint64_t bad_requests = 0;
+  CacheStats cache;
+  stats::TailSummary predict_latency;  ///< seconds, completed predicts
+  stats::TailSummary queue_wait;       ///< seconds, admission -> first slice
+  bool draining = false;
+};
+
+class Service {
+ public:
+  struct Response {
+    /// 200 ok | 400 bad request | 500 evaluation error | 503 rejected
+    /// (queue full or draining) | 504 deadline exceeded.
+    int status = 200;
+    std::string error;
+    double retry_after_ms = 0.0;  ///< populated on 503
+    std::string summary;          ///< populated on 200
+    bool deadlocked = false;
+  };
+
+  explicit Service(const ServiceOptions& options);
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Runs one prediction request to completion (blocking; call from the
+  /// per-connection thread). `deadline_ms` <= 0 falls back to the service
+  /// default. The request's own `options.threads` is ignored: scheduling
+  /// belongs to the service, and determinism makes the thread count
+  /// unobservable in the reply.
+  [[nodiscard]] Response predict(const pevpm::PredictRequest& request,
+                                 double deadline_ms = 0.0);
+
+  /// Parses a cluster description (over the Perseus preset, exactly like
+  /// `mpibench --cluster`) and returns net::describe() of it. Cached like
+  /// every other artifact.
+  [[nodiscard]] Response describe_cluster(const std::string& cluster_text);
+
+  [[nodiscard]] ServiceStats stats() const;
+
+  [[nodiscard]] unsigned threads() const noexcept { return pool_.size(); }
+
+  /// Stops admitting (new submissions answer 503 "draining") and blocks
+  /// until every in-flight job has answered. Idempotent.
+  void drain();
+
+  [[nodiscard]] bool draining() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Job {
+    const pevpm::PredictRequest* request = nullptr;
+    std::shared_ptr<const pevpm::Model> model;
+    std::shared_ptr<const mpibench::DistributionTable> table;
+    /// request->options with the tracer swapped for the service's own;
+    /// seeds and slices are derived from this copy.
+    pevpm::PredictOptions options{};
+    std::vector<std::uint64_t> seeds;
+    std::uint64_t id = 0;
+    int reps = 0;
+    /// results[entry][replication]; slots are written by exactly one slice.
+    std::vector<std::vector<pevpm::SimulationResult>> results;
+    std::size_t total_slices = 0;
+    std::size_t next_slice = 0;  ///< first unstarted slice
+    std::size_t started = 0;
+    std::size_t finished = 0;
+    Clock::time_point admitted_at{};
+    Clock::time_point deadline{};
+    bool has_deadline = false;
+    bool first_slice_seen = false;
+    bool expired = false;
+    bool failed = false;
+    std::string error;
+    bool done = false;
+    std::condition_variable done_cv;
+  };
+
+  void drain_loop();
+  /// Picks the next startable slice round-robin across jobs. Expires
+  /// overdue jobs as a side effect. Returns false when nothing is
+  /// startable. Caller holds mu_.
+  bool pick_slice(Job*& job, std::size_t& slice);
+  /// Marks `job` finished, records latency, notifies. Caller holds mu_.
+  void finalize(Job& job);
+  void spawn_drainers();
+  void record_event(std::int64_t subject, const std::string& detail);
+  [[nodiscard]] std::int64_t now_ns() const;
+  [[nodiscard]] double retry_after_ms_locked() const;
+
+  ServiceOptions options_;
+  ArtifactCache cache_;
+
+  mutable std::mutex mu_;
+  std::vector<Job*> jobs_;         ///< active jobs, admission order
+  std::size_t cursor_ = 0;         ///< round-robin position in jobs_
+  std::condition_variable idle_cv_;  ///< signalled when jobs_ empties
+  unsigned drainers_ = 0;
+  bool draining_ = false;
+  std::uint64_t next_job_id_ = 1;
+
+  // Counters + latency reservoirs (bounded; tail_summary on demand).
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t deadline_expired_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t bad_requests_ = 0;
+  std::vector<double> latency_samples_;
+  std::vector<double> wait_samples_;
+  std::size_t latency_next_ = 0;
+  std::size_t wait_next_ = 0;
+
+  Clock::time_point epoch_ = Clock::now();
+
+  // Declared last: destroyed first, joining any in-flight drainers while
+  // the state above is still alive.
+  pevpm::ThreadPool pool_;
+};
+
+}  // namespace serve

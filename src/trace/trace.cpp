@@ -14,6 +14,7 @@ std::string_view to_string(Category category) noexcept {
     case Category::kMpi: return "mpi";
     case Category::kBenchmark: return "benchmark";
     case Category::kPevpm: return "pevpm";
+    case Category::kServe: return "serve";
   }
   return "unknown";
 }

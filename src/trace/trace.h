@@ -29,6 +29,7 @@ enum class Category : std::uint8_t {
   kMpi,
   kBenchmark,
   kPevpm,
+  kServe,
 };
 
 [[nodiscard]] std::string_view to_string(Category category) noexcept;

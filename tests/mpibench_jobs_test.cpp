@@ -81,4 +81,27 @@ TEST(MpibenchJobs, FaultInjectionStaysDeterministicUnderJobs) {
   }
 }
 
+TEST(MpibenchJobs, CancellationSkipsUnstartedCellsAndKeepsTheRest) {
+  // The SIGINT path: with cancel raised, unstarted cells are skipped
+  // (messages == 0) and the table keeps only completed cells — here all
+  // of them or none, because the flag is toggled between calls.
+  mpibench::Options opt = small_options();
+  std::atomic<bool> cancel{false};
+  opt.cancel = &cancel;
+  const std::vector<net::Bytes> sizes{256, 2048};
+  const std::vector<mpibench::Config> configs{{2, 1}};
+
+  const auto before = mpibench::measure_isend_table(opt, sizes, configs, 1);
+  EXPECT_EQ(before.size(), 2 * sizes.size());  // oneway + sender per size
+
+  cancel = true;
+  const auto swept = mpibench::run_isend_sweep(opt, sizes, 2);
+  ASSERT_EQ(swept.size(), sizes.size());
+  for (const auto& result : swept) {
+    EXPECT_EQ(result.messages, 0u) << "cell ran despite cancellation";
+  }
+  const auto after = mpibench::measure_isend_table(opt, sizes, configs, 1);
+  EXPECT_EQ(after.size(), 0u);  // every cell skipped, none inserted
+}
+
 }  // namespace

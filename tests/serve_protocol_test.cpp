@@ -1,0 +1,178 @@
+// Property tests for the pevpmd wire protocol: random well-formed JSON
+// values must survive a dump/parse round trip, and Server::handle_line
+// must answer every frame — valid, garbled, or truncated — with a
+// well-formed response that echoes the request id and never crashes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "serve/json.h"
+#include "serve/server.h"
+
+namespace {
+
+using serve::Json;
+
+/// Deterministic split-mix style generator, seeded per test case.
+struct Rand {
+  std::uint64_t state;
+  std::uint64_t next() {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+};
+
+Json random_value(Rand& rng, int depth) {
+  switch (depth <= 0 ? rng.below(4) : rng.below(6)) {
+    case 0:
+      return Json{nullptr};
+    case 1:
+      return Json{rng.below(2) == 0};
+    case 2: {
+      if (rng.below(2) == 0) return Json{rng.next()};  // exact u64
+      return Json{static_cast<double>(rng.below(1000000)) / 128.0};
+    }
+    case 3: {
+      std::string s;
+      const auto length = rng.below(12);
+      for (std::uint64_t i = 0; i < length; ++i) {
+        // Bias toward characters that need escaping.
+        const char alphabet[] = "ab\"\\/\n\t\x01\x7f z";
+        s.push_back(alphabet[rng.below(sizeof(alphabet) - 1)]);
+      }
+      return Json{std::move(s)};
+    }
+    case 4: {
+      Json::Array array;
+      const auto length = rng.below(4);
+      for (std::uint64_t i = 0; i < length; ++i) {
+        array.push_back(random_value(rng, depth - 1));
+      }
+      return Json{std::move(array)};
+    }
+    default: {
+      Json object{Json::Object{}};
+      const auto length = rng.below(4);
+      for (std::uint64_t i = 0; i < length; ++i) {
+        object.set("k" + std::to_string(rng.below(6)),
+                   random_value(rng, depth - 1));
+      }
+      return object;
+    }
+  }
+}
+
+TEST(ServeProtocolProperty, RandomValuesRoundTripThroughDump) {
+  for (std::uint64_t seed = 1; seed <= 300; ++seed) {
+    Rand rng{seed};
+    const Json value = random_value(rng, 4);
+    const std::string once = value.dump();
+    Json reparsed;
+    ASSERT_NO_THROW(reparsed = Json::parse(once)) << once;
+    // dump() is canonical: a second round trip is a fixed point.
+    EXPECT_EQ(reparsed.dump(), once) << once;
+  }
+}
+
+class ServeProtocolServer : public ::testing::Test {
+ protected:
+  ServeProtocolServer() {
+    serve::ServerOptions options;
+    options.tcp_port = 0;  // ephemeral loopback; no socket file to manage
+    options.service.threads = 2;
+    options.service.queue_capacity = 4;
+    server_ = std::make_unique<serve::Server>(options);
+  }
+
+  std::unique_ptr<serve::Server> server_;
+};
+
+TEST_F(ServeProtocolServer, AnswersPingAndRejectsUnknownTypes) {
+  const Json pong =
+      Json::parse(server_->handle_line(R"({"type":"ping","id":7})"));
+  EXPECT_EQ(pong.find("status")->as_int64(), 200);
+  EXPECT_EQ(pong.find("id")->as_int64(), 7);
+  const Json unknown =
+      Json::parse(server_->handle_line(R"({"type":"frobnicate"})"));
+  EXPECT_EQ(unknown.find("status")->as_int64(), 400);
+}
+
+TEST_F(ServeProtocolServer, GarbledFramesGet400NeverCrash) {
+  Rand rng{20260806};
+  for (int i = 0; i < 400; ++i) {
+    std::string frame;
+    const auto length = rng.below(60);
+    for (std::uint64_t b = 0; b < length; ++b) {
+      frame.push_back(static_cast<char>(rng.below(256)));
+    }
+    // A newline would be a frame boundary on the wire, never in a frame.
+    for (char& c : frame) {
+      if (c == '\n') c = ' ';
+    }
+    Json response;
+    ASSERT_NO_THROW(response = Json::parse(server_->handle_line(frame)))
+        << "frame " << i;
+    const Json* status = response.find("status");
+    ASSERT_NE(status, nullptr);
+    // Random bytes virtually never form a valid predict request; anything
+    // parseable-but-wrong is still a client error.
+    EXPECT_GE(status->as_int64(), 400) << frame;
+  }
+}
+
+TEST_F(ServeProtocolServer, TruncatedValidFramesGet400) {
+  const std::string valid =
+      R"({"type":"predict","model_text":"serial time = 0.001\n",)"
+      R"("table_text":"","procs":[2],"id":"x"})";
+  for (std::size_t cut = 1; cut + 1 < valid.size(); cut += 3) {
+    const Json response =
+        Json::parse(server_->handle_line(valid.substr(0, cut)));
+    const Json* status = response.find("status");
+    ASSERT_NE(status, nullptr) << cut;
+    EXPECT_EQ(status->as_int64(), 400) << valid.substr(0, cut);
+  }
+}
+
+TEST_F(ServeProtocolServer, RandomValidObjectsAlwaysGetStatusAndIdEcho) {
+  Rand rng{42};
+  for (int i = 0; i < 200; ++i) {
+    Json frame = random_value(rng, 3);
+    if (!frame.is_object()) continue;
+    frame.set("id", Json{static_cast<std::uint64_t>(i)});
+    Json response;
+    ASSERT_NO_THROW(response = Json::parse(server_->handle_line(frame.dump())))
+        << frame.dump();
+    ASSERT_NE(response.find("status"), nullptr);
+    const Json* id = response.find("id");
+    ASSERT_NE(id, nullptr);
+    EXPECT_EQ(id->as_uint64(), static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST_F(ServeProtocolServer, PredictValidationErrorsAreClientErrors) {
+  // Missing pieces and malformed artifacts must be 400s (no queue slot
+  // consumed), not 500s.
+  for (const char* frame : {
+           R"({"type":"predict"})",
+           R"({"type":"predict","model_text":"serial time = 0.001\n"})",
+           R"({"type":"predict","model_text":"serial time = 0.001\n",)"
+           R"("table_text":"","procs":[]})",
+           R"({"type":"predict","model_text":"serial time = 0.001\n",)"
+           R"("table_text":"","procs":[0]})",
+           R"({"type":"predict","model_text":"loop {","table_text":"",)"
+           R"("procs":[2]})",
+           R"({"type":"predict","model_text":"serial time = 0.001\n",)"
+           R"("table_text":"not a table","procs":[2]})",
+       }) {
+    const Json response = Json::parse(server_->handle_line(frame));
+    EXPECT_EQ(response.find("status")->as_int64(), 400) << frame;
+  }
+  EXPECT_EQ(server_->service().stats().accepted, 0u);
+}
+
+}  // namespace

@@ -27,7 +27,15 @@
 //                        down:START_MS,END_MS (link outage; repeatable)
 //     --fault-seed S     fault RNG master seed (default: --seed)
 //     --rto-ms R         TCP retransmission-timeout floor in milliseconds
+//
+// SIGINT/SIGTERM during a sweep stop unstarted cells; completed cells are
+// still printed (and the distribution table flushed, partially) before the
+// process exits with status 3.
+//
+// Exit codes: 0 success, 2 usage error, 3 runtime failure or interruption.
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -37,10 +45,17 @@
 #include <vector>
 
 #include "core/parallel.h"
+#include "core/version.h"
 #include "mpibench/benchmark.h"
 #include "net/cluster.h"
 
 namespace {
+
+std::atomic<bool> g_interrupted{false};
+
+extern "C" void handle_signal(int) {
+  g_interrupted.store(true, std::memory_order_relaxed);
+}
 
 struct Args {
   int nodes = 16;
@@ -81,7 +96,8 @@ std::vector<net::Bytes> parse_sizes(const std::string& list) {
                "          [--seed S]\n"
                "          [--loss-rate P] [--fault-profile burst:E,X,L]\n"
                "          [--fault-profile down:START_MS,END_MS]\n"
-               "          [--fault-seed S] [--rto-ms R]\n",
+               "          [--fault-seed S] [--rto-ms R]\n"
+               "          [--version]\n",
                argv0);
   std::exit(2);
 }
@@ -125,6 +141,9 @@ Args parse_args(int argc, char** argv) {
       args.fault_seed_set = true;
     } else if (flag == "--rto-ms") {
       args.rto_ms = std::stod(value());
+    } else if (flag == "--version") {
+      std::printf("%s\n", pevpm::version_string("mpibench").c_str());
+      std::exit(0);
     } else {
       usage(argv[0]);
     }
@@ -160,14 +179,23 @@ void apply_fault_profile(const std::string& spec, net::FaultParams& fault,
 int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
 
+  // Long sweeps (--jobs over big grids) should die gracefully: a SIGINT or
+  // SIGTERM stops unstarted cells; whatever already finished still prints
+  // (and the table flushes, partially) before exiting non-zero.
+  struct sigaction action{};
+  action.sa_handler = handle_signal;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+
   mpibench::Options opt;
+  opt.cancel = &g_interrupted;
   opt.cluster = net::perseus(std::max(2, args.nodes));
   if (!args.cluster_file.empty()) {
     std::ifstream in{args.cluster_file};
     if (!in) {
       std::fprintf(stderr, "cannot open cluster file %s\n",
                    args.cluster_file.c_str());
-      return 1;
+      return 3;
     }
     opt.cluster = net::parse_cluster(in, opt.cluster);
   }
@@ -213,6 +241,7 @@ int main(int argc, char** argv) {
     // job count.
     const auto results = mpibench::run_isend_sweep(opt, args.sizes, args.jobs);
     for (const auto& result : results) {
+      if (result.messages == 0 && g_interrupted.load()) continue;  // skipped
       const net::Bytes size = result.size;
       const auto& s = result.oneway.summary();
       const auto dist = result.distribution();
@@ -258,6 +287,7 @@ int main(int argc, char** argv) {
     pevpm::parallel_for(
         static_cast<int>(cells), pevpm::resolve_threads(args.jobs),
         [&](int i) {
+          if (g_interrupted.load(std::memory_order_relaxed)) return;
           if (args.op == "barrier") {
             coll[i] = mpibench::run_barrier(opt);
           } else if (args.op == "bcast") {
@@ -268,6 +298,7 @@ int main(int argc, char** argv) {
         });
     for (std::size_t i = 0; i < cells; ++i) {
       const mpibench::CollectiveResult& result = coll[i];
+      if (result.operations == 0 && g_interrupted.load()) continue;  // skipped
       const net::Bytes size = args.op == "barrier" ? args.sizes.at(0)
                                                    : args.sizes[i];
       const auto& s = result.completion.summary();
@@ -286,7 +317,7 @@ int main(int argc, char** argv) {
     }
   } else {
     std::fprintf(stderr, "unknown op '%s'\n", args.op.c_str());
-    return 1;
+    return 3;
   }
 
   if (!args.table_file.empty()) {
@@ -301,11 +332,17 @@ int main(int argc, char** argv) {
     std::ofstream out{args.table_file};
     if (!out) {
       std::fprintf(stderr, "cannot write %s\n", args.table_file.c_str());
-      return 1;
+      return 3;
     }
     table.save(out);
-    std::printf("wrote %zu table entries to %s\n", table.size(),
+    std::printf("wrote %zu%s table entries to %s\n", table.size(),
+                g_interrupted.load() ? " (partial)" : "",
                 args.table_file.c_str());
+  }
+  if (g_interrupted.load()) {
+    std::fprintf(stderr,
+                 "interrupted: skipped unstarted cells, flushed the rest\n");
+    return 3;
   }
   return 0;
 }

@@ -19,6 +19,14 @@
 //                        the worker pool) and dump them as CSV to FILE
 //     --losses           print the top blocking-loss directives
 //     --dump             print the parsed model and exit
+//     --server SOCKET    send the request to a running pevpmd instead of
+//                        evaluating locally (SOCKET is a unix path, or
+//                        host:port for a TCP listener). The reply is
+//                        byte-identical to local evaluation for the same
+//                        seed. Incompatible with --trace.
+//     --version          print version and exit
+//
+// Exit codes: 0 success, 2 usage error, 3 runtime failure.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -26,9 +34,10 @@
 #include <string>
 #include <vector>
 
-#include "core/parse.h"
-#include "core/predict.h"
-#include "mpibench/table.h"
+#include "core/request.h"
+#include "core/version.h"
+#include "serve/client.h"
+#include "serve/json.h"
 #include "trace/trace.h"
 
 namespace {
@@ -41,7 +50,9 @@ namespace {
                "          [--reps R] [--threads N] [--set name=value]...\n"
                "          [--seed S] [--trace FILE]\n"
                "          [--losses]\n"
-               "          [--dump]\n",
+               "          [--dump]\n"
+               "          [--server SOCKET]\n"
+               "          [--version]\n",
                argv0);
   std::exit(2);
 }
@@ -50,11 +61,77 @@ std::string slurp(const std::string& path) {
   std::ifstream in{path};
   if (!in) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
-    std::exit(1);
+    std::exit(3);
   }
   std::stringstream ss;
   ss << in.rdbuf();
   return ss.str();
+}
+
+/// Ships the request to a pevpmd at `endpoint` (unix path or host:port) and
+/// prints the returned summary — the same bytes local evaluation prints.
+int run_remote(const std::string& endpoint,
+               const pevpm::PredictRequest& request) {
+  serve::Json procs{serve::Json::Array{}};
+  for (const int p : request.procs) procs.as_array().emplace_back(p);
+  serve::Json set{serve::Json::Object{}};
+  for (const auto& [name, value] : request.overrides) {
+    set.set(name, serve::Json{value});
+  }
+  serve::Json frame{serve::Json::Object{}};
+  frame.set("type", serve::Json{"predict"});
+  frame.set("model_text", serve::Json{request.model_text});
+  frame.set("model_name", serve::Json{request.model_name});
+  frame.set("table_text", serve::Json{request.table_text});
+  frame.set("table_label", serve::Json{request.table_label});
+  frame.set("procs", std::move(procs));
+  frame.set("mode", serve::Json{request.options.sampler.mode ==
+                                        pevpm::PredictionMode::kAverage
+                                    ? "average"
+                                : request.options.sampler.mode ==
+                                        pevpm::PredictionMode::kMinimum
+                                    ? "minimum"
+                                    : "distribution"});
+  if (request.options.sampler.contention ==
+      pevpm::ContentionSource::kFixed) {
+    frame.set("contention",
+              serve::Json{"fixed:" + std::to_string(
+                              request.options.sampler.fixed_contention)});
+  }
+  frame.set("reps", serve::Json{request.options.replications});
+  frame.set("seed", serve::Json{request.options.seed});
+  frame.set("losses", serve::Json{request.losses});
+  if (!request.overrides.empty()) frame.set("set", std::move(set));
+
+  try {
+    const auto colon = endpoint.rfind(':');
+    serve::Client client =
+        colon != std::string::npos &&
+                endpoint.find('/') == std::string::npos
+            ? serve::Client::connect_tcp(
+                  endpoint.substr(0, colon),
+                  std::stoi(endpoint.substr(colon + 1)))
+            : serve::Client::connect_unix(endpoint);
+    const serve::Json response = client.call(frame);
+    const serve::Json* status = response.find("status");
+    if (status == nullptr || status->as_int64() != 200) {
+      const serve::Json* error = response.find("error");
+      std::fprintf(stderr, "server error %lld: %s\n",
+                   status != nullptr
+                       ? static_cast<long long>(status->as_int64())
+                       : -1LL,
+                   error != nullptr ? error->as_string().c_str() : "?");
+      if (const serve::Json* retry = response.find("retry_after_ms")) {
+        std::fprintf(stderr, "retry after %.0f ms\n", retry->as_double());
+      }
+      return 3;
+    }
+    std::fputs(response.find("summary")->as_string().c_str(), stdout);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 3;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -63,11 +140,9 @@ int main(int argc, char** argv) {
   std::string model_file;
   std::string table_file;
   std::string trace_file;
-  std::vector<int> proc_counts;
-  pevpm::PredictOptions opts;
-  pevpm::Bindings overrides;
+  std::string server;
+  pevpm::PredictRequest request;
   trace::Tracer tracer;
-  bool losses = false;
   bool dump = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -81,114 +156,86 @@ int main(int argc, char** argv) {
     } else if (flag == "--table") {
       table_file = value();
     } else if (flag == "--procs") {
-      std::stringstream ss{value()};
-      std::string item;
-      while (std::getline(ss, item, ',')) {
-        proc_counts.push_back(std::stoi(item));
-      }
+      if (!pevpm::parse_procs(value(), request.procs)) usage(argv[0]);
     } else if (flag == "--mode") {
-      const std::string mode = value();
-      if (mode == "distribution") {
-        opts.sampler.mode = pevpm::PredictionMode::kDistribution;
-      } else if (mode == "average") {
-        opts.sampler.mode = pevpm::PredictionMode::kAverage;
-      } else if (mode == "minimum") {
-        opts.sampler.mode = pevpm::PredictionMode::kMinimum;
-      } else {
+      if (!pevpm::parse_mode(value(), request.options.sampler)) {
         usage(argv[0]);
       }
     } else if (flag == "--contention") {
-      const std::string c = value();
-      if (c == "scoreboard") {
-        opts.sampler.contention = pevpm::ContentionSource::kScoreboard;
-      } else if (c.rfind("fixed:", 0) == 0) {
-        opts.sampler.contention = pevpm::ContentionSource::kFixed;
-        opts.sampler.fixed_contention = std::stoi(c.substr(6));
-      } else {
+      if (!pevpm::parse_contention(value(), request.options.sampler)) {
         usage(argv[0]);
       }
     } else if (flag == "--reps") {
-      opts.replications = std::stoi(value());
+      request.options.replications = std::stoi(value());
     } else if (flag == "--threads") {
-      opts.threads = std::stoi(value());
+      request.options.threads = std::stoi(value());
     } else if (flag == "--set") {
       const std::string kv = value();
       const auto eq = kv.find('=');
       if (eq == std::string::npos) usage(argv[0]);
-      overrides[kv.substr(0, eq)] = std::stod(kv.substr(eq + 1));
+      request.overrides[kv.substr(0, eq)] = std::stod(kv.substr(eq + 1));
     } else if (flag == "--seed") {
-      opts.seed = std::stoull(value());
+      request.options.seed = std::stoull(value());
     } else if (flag == "--trace") {
       trace_file = value();
     } else if (flag == "--losses") {
-      losses = true;
+      request.losses = true;
     } else if (flag == "--dump") {
       dump = true;
+    } else if (flag == "--server") {
+      server = value();
+    } else if (flag == "--version") {
+      std::printf("%s\n", pevpm::version_string("pevpm").c_str());
+      return 0;
     } else {
       usage(argv[0]);
     }
   }
   if (model_file.empty() || (!dump && table_file.empty()) ||
-      (!dump && proc_counts.empty())) {
+      (!dump && request.procs.empty())) {
+    usage(argv[0]);
+  }
+  if (!server.empty() && !trace_file.empty()) {
+    std::fprintf(stderr, "--trace records locally; it cannot follow a "
+                         "request to --server\n");
     usage(argv[0]);
   }
 
-  const std::string source = slurp(model_file);
-  const bool annotated = source.find("// PEVPM") != std::string::npos;
-  const pevpm::Model model =
-      annotated ? pevpm::parse_annotated_source(source, model_file)
-                : pevpm::parse_model(source, model_file);
+  request.model_text = slurp(model_file);
+  request.model_name = model_file;
   if (dump) {
-    std::printf("%s", model.str().c_str());
+    try {
+      std::printf("%s", pevpm::parse_request_model(request).str().c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 3;
+    }
     return 0;
   }
+  request.table_text = slurp(table_file);
+  request.table_label = table_file;
 
-  std::ifstream table_in{table_file};
-  if (!table_in) {
-    std::fprintf(stderr, "cannot open %s\n", table_file.c_str());
-    return 1;
-  }
-  const auto table = mpibench::DistributionTable::load(table_in);
-  std::printf("model %s (%d directives), table %s (%zu entries)\n\n",
-              model.name.c_str(), model.node_count, table_file.c_str(),
-              table.size());
+  if (!server.empty()) return run_remote(server, request);
 
   if (!trace_file.empty()) {
     tracer.enable();
-    opts.tracer = &tracer;
+    request.options.tracer = &tracer;
   }
 
-  std::printf("%8s %14s %14s %10s %8s\n", "procs", "predicted_s", "sem_s",
-              "messages", "status");
-  for (const int procs : proc_counts) {
-    const auto prediction =
-        pevpm::predict(model, procs, overrides, table, opts);
-    std::printf("%8d %14.6f %14.6f %10llu %8s\n", procs,
-                prediction.seconds(), prediction.makespan.sem(),
-                static_cast<unsigned long long>(prediction.detail.messages),
-                prediction.deadlocked ? "DEADLOCK" : "ok");
-    if (prediction.deadlocked) {
-      std::printf("  blocked processes:");
-      for (std::size_t i = 0;
-           i < prediction.detail.deadlocked_processes.size() && i < 8; ++i) {
-        std::printf(" %d(dir %d)", prediction.detail.deadlocked_processes[i],
-                    prediction.detail.deadlocked_directives[i]);
-      }
-      std::printf("\n");
-    }
-    if (losses) {
-      for (const auto& [directive, loss] : prediction.detail.top_losses(5)) {
-        std::printf("  loss: directive %d blocked %.4f s total\n", directive,
-                    loss);
-      }
-    }
+  pevpm::PredictReport report;
+  try {
+    report = pevpm::run_request(request);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 3;
   }
+  std::fputs(report.summary.c_str(), stdout);
 
   if (!trace_file.empty()) {
     std::ofstream trace_out{trace_file};
     if (!trace_out) {
       std::fprintf(stderr, "cannot write %s\n", trace_file.c_str());
-      return 1;
+      return 3;
     }
     tracer.dump_csv(trace_out);
     std::printf("\nwrote %zu trace records to %s\n", tracer.size(),
