@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <mutex>
 #include <utility>
 
 namespace pevpm {
@@ -22,7 +23,7 @@ ThreadPool::ThreadPool(unsigned threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock{mu_};
+    MutexLock lock{mu_};
     stop_ = true;
   }
   task_ready_.notify_all();
@@ -31,23 +32,23 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard lock{mu_};
+    MutexLock lock{mu_};
     queue_.push_back(std::move(task));
   }
   task_ready_.notify_one();
 }
 
 void ThreadPool::wait() {
-  std::unique_lock lock{mu_};
-  all_done_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock{mu_};
+  while (!queue_.empty() || active_ != 0) all_done_.wait(lock);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock{mu_};
-      task_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock{mu_};
+      while (!stop_ && queue_.empty()) task_ready_.wait(lock);
       if (queue_.empty()) return;  // stop_ set and nothing left to run
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -55,7 +56,7 @@ void ThreadPool::worker_loop() {
     }
     task();
     {
-      std::lock_guard lock{mu_};
+      MutexLock lock{mu_};
       --active_;
       if (queue_.empty() && active_ == 0) all_done_.notify_all();
     }

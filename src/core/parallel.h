@@ -10,13 +10,13 @@
 // afterwards, independent of scheduling.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/thread_annotations.h"
 
 namespace pevpm {
 
@@ -41,21 +41,21 @@ class ThreadPool {
 
   /// Enqueues a task. Tasks must not throw — wrap user code and stash the
   /// exception (see parallel_for); an escaping exception terminates.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Blocks until the queue is empty and no task is running.
-  void wait();
+  void wait() EXCLUDES(mu_);
 
  private:
-  void worker_loop();
+  void worker_loop() EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable task_ready_;
-  std::condition_variable all_done_;
-  std::size_t active_ = 0;
-  bool stop_ = false;
+  Mutex mu_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  CondVar task_ready_;
+  CondVar all_done_;
+  std::size_t active_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 /// Runs fn(0) ... fn(total - 1), spread over up to `threads` workers via an

@@ -39,9 +39,15 @@ bool parse_contention(std::string_view text, SamplerOptions& sampler) {
 
 bool parse_procs(std::string_view text, std::vector<int>& out) {
   std::vector<int> parsed;
-  std::stringstream ss{std::string{text}};
-  std::string item;
-  while (std::getline(ss, item, ',')) {
+  // Hand-rolled split on ',' (no stringstream copy per request). Matches
+  // getline's delimiter semantics exactly: a trailing comma yields no empty
+  // final token ("4," is {4}); an empty token anywhere else is an error.
+  std::size_t begin = 0;
+  while (begin < text.size()) {
+    const std::size_t comma = text.find(',', begin);
+    const std::size_t end = comma == std::string_view::npos ? text.size()
+                                                            : comma;
+    const std::string_view item = text.substr(begin, end - begin);
     int value = 0;
     const auto [ptr, ec] =
         std::from_chars(item.data(), item.data() + item.size(), value);
@@ -49,6 +55,8 @@ bool parse_procs(std::string_view text, std::vector<int>& out) {
       return false;
     }
     parsed.push_back(value);
+    begin = end + (comma == std::string_view::npos ? 0 : 1);
+    if (comma == std::string_view::npos) break;
   }
   if (parsed.empty()) return false;
   out = std::move(parsed);

@@ -1,0 +1,125 @@
+// Clang Thread Safety Analysis vocabulary for the whole tree.
+//
+// The macros below expand to clang's capability attributes when the
+// compiler supports them (`-Wthread-safety`, enabled for every clang build
+// by the top-level CMakeLists and promoted to -Werror in CI) and to
+// nothing elsewhere, so gcc builds are unaffected. Mutex-protected members
+// carry GUARDED_BY(mu_), functions that must be entered with a lock held
+// carry REQUIRES(mu_), and the analysis then proves at compile time that
+// no code path touches guarded state without the right lock — every
+// interleaving, not the sample a TSan run happens to schedule.
+//
+// std::mutex itself carries no capability attributes in libstdc++, so the
+// analysis cannot see std::lock_guard acquiring it. Mutex / MutexLock /
+// CondVar below are the annotation-friendly equivalents: thin wrappers
+// over std::mutex / std::unique_lock / std::condition_variable whose
+// operations are annotated, at zero runtime cost. Project rule (enforced
+// by tools/repro_lint): concurrent classes declare pevpm::Mutex members,
+// never bare std::mutex, and every mutex member has at least one
+// GUARDED_BY partner.
+//
+// Condition-variable waits are written as explicit loops
+// (`while (!cond) cv.wait(lock);`) rather than the predicate-lambda
+// overload: the analysis treats a lambda as a separate function and would
+// flag its reads of guarded members, while the loop form keeps the reads
+// in the function that verifiably holds the capability.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define PEVPM_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef PEVPM_THREAD_ANNOTATION
+#define PEVPM_THREAD_ANNOTATION(x)  // not clang: annotations compile away
+#endif
+
+#define CAPABILITY(x) PEVPM_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY PEVPM_THREAD_ANNOTATION(scoped_lockable)
+#define GUARDED_BY(x) PEVPM_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) PEVPM_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) PEVPM_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) PEVPM_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) PEVPM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  PEVPM_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) PEVPM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  PEVPM_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) PEVPM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  PEVPM_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  PEVPM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) PEVPM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) PEVPM_THREAD_ANNOTATION(assert_capability(x))
+#define RETURN_CAPABILITY(x) PEVPM_THREAD_ANNOTATION(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  PEVPM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace pevpm {
+
+/// std::mutex with capability annotations. Same size, same codegen; the
+/// analysis can now prove which locks guard which members.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped mutex, for MutexLock/CondVar plumbing only. Calling
+  /// lock()/unlock() on it directly would be invisible to the analysis.
+  [[nodiscard]] std::mutex& native() noexcept { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock over a Mutex, relockable (unlock()/lock()) so the
+/// drop-the-lock-around-slow-work pattern stays analysable. Wraps
+/// std::unique_lock, so CondVar can wait on it.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : lock_{mu.native()} {}
+  ~MutexLock() RELEASE() {}  // std::unique_lock releases iff still held
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void lock() ACQUIRE() { lock_.lock(); }
+  void unlock() RELEASE() { lock_.unlock(); }
+
+  /// For CondVar::wait only.
+  [[nodiscard]] std::unique_lock<std::mutex>& native() noexcept {
+    return lock_;
+  }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// std::condition_variable over a MutexLock. Waits atomically release and
+/// reacquire the lock, so the caller's capability state is unchanged across
+/// wait() — callers loop on their condition in the locked scope.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(MutexLock& lock) { cv_.wait(lock.native()); }
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace pevpm

@@ -14,6 +14,9 @@ std::uint32_t Engine::acquire_slot() {
   return slot_count_++;
 }
 
+// LINT:hot-path begin (event dispatch: no heap allocation, locks, or
+// iostream below — acquire_slot above owns the one allowed allocation,
+// pool-chunk growth; enforced by tools/repro_lint)
 void Engine::release_slot(std::uint32_t index) noexcept {
   Slot& slot = slot_at(index);
   slot.state = SlotState::kFree;
@@ -159,5 +162,6 @@ void Engine::run_until(SimTime t) {
   }
   if (now_ < t) now_ = t;
 }
+// LINT:hot-path end
 
 }  // namespace des

@@ -20,10 +20,9 @@ Process::~Process() {
 
 void Process::thread_main() {
   {
-    std::unique_lock lock{mutex_};
-    cv_.wait(lock, [this] { return turn_ == Turn::kProcess; });
+    pevpm::MutexLock lock{mutex_};
+    while (turn_ != Turn::kProcess) cv_.wait(lock);
   }
-  started_ = true;
   if (!killed_) {
     try {
       body_();
@@ -33,24 +32,24 @@ void Process::thread_main() {
       failure_ = std::current_exception();
     }
   }
-  std::unique_lock lock{mutex_};
+  pevpm::MutexLock lock{mutex_};
   finished_ = true;
   turn_ = Turn::kEngine;
   cv_.notify_all();
 }
 
 void Process::resume() {
-  std::unique_lock lock{mutex_};
+  pevpm::MutexLock lock{mutex_};
   turn_ = Turn::kProcess;
   cv_.notify_all();
-  cv_.wait(lock, [this] { return turn_ == Turn::kEngine; });
+  while (turn_ != Turn::kEngine) cv_.wait(lock);
 }
 
 void Process::yield() {
-  std::unique_lock lock{mutex_};
+  pevpm::MutexLock lock{mutex_};
   turn_ = Turn::kEngine;
   cv_.notify_all();
-  cv_.wait(lock, [this] { return turn_ == Turn::kProcess; });
+  while (turn_ != Turn::kProcess) cv_.wait(lock);
   if (killed_) throw Killed{};
 }
 

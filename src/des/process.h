@@ -17,14 +17,13 @@
 // impossible to observe: every primitive re-checks its condition.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 
+#include "core/thread_annotations.h"
 #include "des/engine.h"
 
 namespace des {
@@ -89,12 +88,16 @@ class Process {
   std::string name_;
   std::function<void()> body_;
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
+  pevpm::Mutex mutex_;
+  pevpm::CondVar cv_;
   enum class Turn { kEngine, kProcess };
-  Turn turn_ = Turn::kEngine;
+  /// The hand-off token: which context may run. The only member the mutex
+  /// itself guards — everything below is protected by the active-context
+  /// discipline instead (exactly one context executes at a time, and the
+  /// turn_ hand-off provides the happens-before edges), which a lock-based
+  /// analysis cannot express. See the file comment.
+  Turn turn_ GUARDED_BY(mutex_) = Turn::kEngine;
 
-  bool started_ = false;
   bool finished_ = false;
   bool killed_ = false;
   bool blocked_ = false;        ///< inside sleep_once()

@@ -129,6 +129,8 @@ void Network::send(const Packet& packet, DeliverFn deliver, DropFn drop) {
   forward_hop(index);
 }
 
+// LINT:hot-path begin (per-packet forwarding: transit records come from the
+// pool, callbacks are moved, nothing allocates; enforced by tools/repro_lint)
 void Network::forward_hop(std::uint32_t index) {
   Transit& record = transit(index);
   Link* link = record.path[record.hop];
@@ -159,6 +161,7 @@ void Network::forward_hop(std::uint32_t index) {
         if (drop) drop(dropped);
       });
 }
+// LINT:hot-path end
 
 std::uint64_t Network::total_drops() const noexcept {
   std::uint64_t drops = 0;

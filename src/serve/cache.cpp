@@ -23,7 +23,7 @@ std::shared_ptr<const void> ArtifactCache::get_or_load(
     Kind kind, std::string_view text,
     const std::function<std::shared_ptr<const void>()>& load) {
   const Key key{kind, content_hash(text), text.size()};
-  std::unique_lock lock{mu_};
+  pevpm::MutexLock lock{mu_};
   if (const auto it = entries_.find(key); it != entries_.end()) {
     ++stats_.hits;
     lru_.splice(lru_.begin(), lru_, it->second.lru);
@@ -82,14 +82,14 @@ std::shared_ptr<const net::ClusterParams> ArtifactCache::cluster(
 }
 
 CacheStats ArtifactCache::stats() const {
-  std::lock_guard lock{mu_};
+  pevpm::MutexLock lock{mu_};
   CacheStats out = stats_;
   out.entries = entries_.size();
   return out;
 }
 
 void ArtifactCache::clear() {
-  std::lock_guard lock{mu_};
+  pevpm::MutexLock lock{mu_};
   entries_.clear();
   lru_.clear();
   stats_.entries = 0;

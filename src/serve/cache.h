@@ -18,10 +18,10 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string_view>
 
 #include "core/model.h"
+#include "core/thread_annotations.h"
 #include "mpibench/table.h"
 #include "net/calibration.h"
 
@@ -62,9 +62,9 @@ class ArtifactCache {
       std::string_view text,
       const std::function<net::ClusterParams()>& load);
 
-  [[nodiscard]] CacheStats stats() const;
+  [[nodiscard]] CacheStats stats() const EXCLUDES(mu_);
 
-  void clear();
+  void clear() EXCLUDES(mu_);
 
  private:
   enum class Kind : int { kModel, kTable, kCluster };
@@ -83,13 +83,13 @@ class ArtifactCache {
 
   [[nodiscard]] std::shared_ptr<const void> get_or_load(
       Kind kind, std::string_view text,
-      const std::function<std::shared_ptr<const void>()>& load);
+      const std::function<std::shared_ptr<const void>()>& load) EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::size_t capacity_;
-  std::map<Key, Entry> entries_;
-  std::list<Key> lru_;  ///< most recently used first
-  CacheStats stats_;
+  mutable pevpm::Mutex mu_;
+  std::size_t capacity_;  ///< immutable after construction
+  std::map<Key, Entry> entries_ GUARDED_BY(mu_);
+  std::list<Key> lru_ GUARDED_BY(mu_);  ///< most recently used first
+  CacheStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace serve

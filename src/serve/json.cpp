@@ -301,6 +301,14 @@ std::int64_t Json::as_int64() const {
   if (ec == std::errc{} && ptr == n->lexeme.data() + n->lexeme.size()) {
     return exact;
   }
+  // Fractional or huge lexeme: fall back to the double, but only inside
+  // the representable range — casting an out-of-range double is UB. 2^63
+  // is exact as a double; the half-open test keeps NaN out too.
+  constexpr double kMin = -9223372036854775808.0;  // -2^63
+  constexpr double kMax = 9223372036854775808.0;   // 2^63
+  if (!(n->value >= kMin && n->value < kMax)) {
+    throw JsonError{"number out of int64 range"};
+  }
   return static_cast<std::int64_t>(n->value);
 }
 
@@ -314,6 +322,11 @@ std::uint64_t Json::as_uint64() const {
     return exact;
   }
   if (n->value < 0) throw JsonError{"negative value for unsigned field"};
+  // 2^64 is exact as a double; values at or above it (or NaN) cannot be
+  // cast without UB.
+  if (!(n->value < 18446744073709551616.0)) {
+    throw JsonError{"number out of uint64 range"};
+  }
   return static_cast<std::uint64_t>(n->value);
 }
 

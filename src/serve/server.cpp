@@ -163,10 +163,14 @@ void Server::shutdown() {
   request_shutdown();
   // Drain first so every in-flight request still answers; then half-close
   // the connections (SHUT_RD: pending responses still flow out, the next
-  // read sees EOF) and join the handlers.
+  // read sees EOF) and join the handlers. adopt_connection() re-checks
+  // stop_requested_ under connections_mu_, so every registered connection
+  // either predates the sweep below (and gets half-closed) or is refused —
+  // a concurrent accept can no longer hand us a handler that never sees
+  // EOF and blocks the join forever.
   service_.drain();
   {
-    std::lock_guard lock{connections_mu_};
+    pevpm::MutexLock lock{connections_mu_};
     for (const auto& connection : connections_) {
       ::shutdown(connection->fd, SHUT_RD);
     }
@@ -174,10 +178,26 @@ void Server::shutdown() {
   reap_connections(/*all=*/true);
 }
 
+bool Server::adopt_connection(int fd) {
+  auto connection = std::make_unique<Connection>();
+  connection->fd = fd;
+  Connection* raw = connection.get();
+  pevpm::MutexLock lock{connections_mu_};
+  if (stop_requested_.load(std::memory_order_relaxed)) {
+    // Raced with shutdown(): its half-close sweep may already be done, so
+    // refuse rather than register a connection nobody would unblock.
+    ::close(fd);
+    return false;
+  }
+  connection->thread = std::thread{[this, raw] { handle_connection(raw); }};
+  connections_.push_back(std::move(connection));
+  return true;
+}
+
 void Server::reap_connections(bool all) {
   std::list<std::unique_ptr<Connection>> finished;
   {
-    std::lock_guard lock{connections_mu_};
+    pevpm::MutexLock lock{connections_mu_};
     for (auto it = connections_.begin(); it != connections_.end();) {
       if (all || (*it)->done.load(std::memory_order_acquire)) {
         finished.push_back(std::move(*it));
@@ -209,15 +229,7 @@ void Server::serve() {
       if ((fds[i].revents & POLLIN) == 0) continue;
       const int client = ::accept(fds[i].fd, nullptr, nullptr);
       if (client < 0) continue;
-      auto connection = std::make_unique<Connection>();
-      connection->fd = client;
-      Connection* raw = connection.get();
-      connection->thread =
-          std::thread{[this, raw] { handle_connection(raw); }};
-      {
-        std::lock_guard lock{connections_mu_};
-        connections_.push_back(std::move(connection));
-      }
+      if (!adopt_connection(client)) break;  // shutting down
     }
     reap_connections(/*all=*/false);
   }

@@ -31,10 +31,10 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
+#include "core/thread_annotations.h"
 #include "serve/json.h"
 #include "serve/service.h"
 
@@ -89,7 +89,13 @@ class Server {
   };
 
   void handle_connection(Connection* connection);
-  void reap_connections(bool all);
+  void reap_connections(bool all) EXCLUDES(connections_mu_);
+  /// Registers an accepted socket and spawns its handler thread — unless a
+  /// shutdown is in progress, in which case the socket is closed and false
+  /// is returned. Checking stop_requested_ under connections_mu_ orders
+  /// every registration against shutdown()'s half-close sweep, so no
+  /// connection can slip in after the sweep and hang the join.
+  bool adopt_connection(int fd) EXCLUDES(connections_mu_);
   [[nodiscard]] Json dispatch(const Json& request);
   [[nodiscard]] Json handle_predict(const Json& request);
   [[nodiscard]] Json handle_cluster(const Json& request);
@@ -102,8 +108,9 @@ class Server {
   int tcp_port_ = -1;
   int wake_pipe_[2] = {-1, -1};
   std::atomic<bool> stop_requested_{false};
-  std::mutex connections_mu_;
-  std::list<std::unique_ptr<Connection>> connections_;
+  pevpm::Mutex connections_mu_;
+  std::list<std::unique_ptr<Connection>> connections_
+      GUARDED_BY(connections_mu_);
 };
 
 }  // namespace serve

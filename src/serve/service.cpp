@@ -148,7 +148,7 @@ void Service::spawn_drainers() {
 }
 
 void Service::drain_loop() {
-  std::unique_lock lock{mu_};
+  pevpm::MutexLock lock{mu_};
   for (;;) {
     Job* job = nullptr;
     std::size_t slice = 0;
@@ -206,7 +206,7 @@ Service::Response Service::predict(const pevpm::PredictRequest& request,
       return mpibench::DistributionTable::load(in);
     });
   } catch (const std::exception& e) {
-    std::lock_guard lock{mu_};
+    pevpm::MutexLock lock{mu_};
     ++bad_requests_;
     response.status = 400;
     response.error = e.what();
@@ -215,7 +215,7 @@ Service::Response Service::predict(const pevpm::PredictRequest& request,
   if (request.procs.empty() ||
       std::any_of(request.procs.begin(), request.procs.end(),
                   [](int p) { return p <= 0; })) {
-    std::lock_guard lock{mu_};
+    pevpm::MutexLock lock{mu_};
     ++bad_requests_;
     response.status = 400;
     response.error = "procs must be a non-empty list of positive integers";
@@ -237,7 +237,7 @@ Service::Response Service::predict(const pevpm::PredictRequest& request,
   job.total_slices =
       request.procs.size() * static_cast<std::size_t>(std::max(job.reps, 0));
 
-  std::unique_lock lock{mu_};
+  pevpm::MutexLock lock{mu_};
   job.id = next_job_id_++;
   if (draining_) {
     ++rejected_;
@@ -283,7 +283,7 @@ Service::Response Service::predict(const pevpm::PredictRequest& request,
   } else {
     spawn_drainers();
   }
-  job.done_cv.wait(lock, [&job] { return job.done; });
+  while (!job.done) job.done_cv.wait(lock);
 
   if (job.expired) {
     response.status = 504;
@@ -321,7 +321,7 @@ Service::Response Service::describe_cluster(const std::string& cluster_text) {
     });
     response.summary = net::describe(*cluster);
   } catch (const std::exception& e) {
-    std::lock_guard lock{mu_};
+    pevpm::MutexLock lock{mu_};
     ++bad_requests_;
     response.status = 400;
     response.error = e.what();
@@ -330,7 +330,7 @@ Service::Response Service::describe_cluster(const std::string& cluster_text) {
 }
 
 ServiceStats Service::stats() const {
-  std::lock_guard lock{mu_};
+  pevpm::MutexLock lock{mu_};
   ServiceStats out;
   for (const Job* job : jobs_) {
     if (job->first_slice_seen) {
@@ -353,13 +353,13 @@ ServiceStats Service::stats() const {
 }
 
 void Service::drain() {
-  std::unique_lock lock{mu_};
+  pevpm::MutexLock lock{mu_};
   draining_ = true;
-  idle_cv_.wait(lock, [this] { return jobs_.empty(); });
+  while (!jobs_.empty()) idle_cv_.wait(lock);
 }
 
 bool Service::draining() const {
-  std::lock_guard lock{mu_};
+  pevpm::MutexLock lock{mu_};
   return draining_;
 }
 

@@ -29,15 +29,14 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/parallel.h"
 #include "core/request.h"
+#include "core/thread_annotations.h"
 #include "serve/cache.h"
 #include "stats/summary.h"
 #include "trace/trace.h"
@@ -99,22 +98,23 @@ class Service {
   /// belongs to the service, and determinism makes the thread count
   /// unobservable in the reply.
   [[nodiscard]] Response predict(const pevpm::PredictRequest& request,
-                                 double deadline_ms = 0.0);
+                                 double deadline_ms = 0.0) EXCLUDES(mu_);
 
   /// Parses a cluster description (over the Perseus preset, exactly like
   /// `mpibench --cluster`) and returns net::describe() of it. Cached like
   /// every other artifact.
-  [[nodiscard]] Response describe_cluster(const std::string& cluster_text);
+  [[nodiscard]] Response describe_cluster(const std::string& cluster_text)
+      EXCLUDES(mu_);
 
-  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] ServiceStats stats() const EXCLUDES(mu_);
 
   [[nodiscard]] unsigned threads() const noexcept { return pool_.size(); }
 
   /// Stops admitting (new submissions answer 503 "draining") and blocks
   /// until every in-flight job has answered. Idempotent.
-  void drain();
+  void drain() EXCLUDES(mu_);
 
-  [[nodiscard]] bool draining() const;
+  [[nodiscard]] bool draining() const EXCLUDES(mu_);
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -143,43 +143,46 @@ class Service {
     bool failed = false;
     std::string error;
     bool done = false;
-    std::condition_variable done_cv;
+    /// Waits on the service's mu_. (Job fields are guarded by mu_ too, but
+    /// a nested struct cannot name the owner's mutex in a GUARDED_BY; the
+    /// REQUIRES annotations on the helpers below keep them checked.)
+    pevpm::CondVar done_cv;
   };
 
-  void drain_loop();
+  void drain_loop() EXCLUDES(mu_);
   /// Picks the next startable slice round-robin across jobs. Expires
   /// overdue jobs as a side effect. Returns false when nothing is
-  /// startable. Caller holds mu_.
-  bool pick_slice(Job*& job, std::size_t& slice);
-  /// Marks `job` finished, records latency, notifies. Caller holds mu_.
-  void finalize(Job& job);
-  void spawn_drainers();
+  /// startable.
+  bool pick_slice(Job*& job, std::size_t& slice) REQUIRES(mu_);
+  /// Marks `job` finished, records latency, notifies.
+  void finalize(Job& job) REQUIRES(mu_);
+  void spawn_drainers() REQUIRES(mu_);
   void record_event(std::int64_t subject, const std::string& detail);
   [[nodiscard]] std::int64_t now_ns() const;
-  [[nodiscard]] double retry_after_ms_locked() const;
+  [[nodiscard]] double retry_after_ms_locked() const REQUIRES(mu_);
 
   ServiceOptions options_;
   ArtifactCache cache_;
 
-  mutable std::mutex mu_;
-  std::vector<Job*> jobs_;         ///< active jobs, admission order
-  std::size_t cursor_ = 0;         ///< round-robin position in jobs_
-  std::condition_variable idle_cv_;  ///< signalled when jobs_ empties
-  unsigned drainers_ = 0;
-  bool draining_ = false;
-  std::uint64_t next_job_id_ = 1;
+  mutable pevpm::Mutex mu_;
+  std::vector<Job*> jobs_ GUARDED_BY(mu_);  ///< active jobs, admission order
+  std::size_t cursor_ GUARDED_BY(mu_) = 0;  ///< round-robin position in jobs_
+  pevpm::CondVar idle_cv_;                  ///< signalled when jobs_ empties
+  unsigned drainers_ GUARDED_BY(mu_) = 0;
+  bool draining_ GUARDED_BY(mu_) = false;
+  std::uint64_t next_job_id_ GUARDED_BY(mu_) = 1;
 
   // Counters + latency reservoirs (bounded; tail_summary on demand).
-  std::uint64_t accepted_ = 0;
-  std::uint64_t rejected_ = 0;
-  std::uint64_t completed_ = 0;
-  std::uint64_t deadline_expired_ = 0;
-  std::uint64_t failed_ = 0;
-  std::uint64_t bad_requests_ = 0;
-  std::vector<double> latency_samples_;
-  std::vector<double> wait_samples_;
-  std::size_t latency_next_ = 0;
-  std::size_t wait_next_ = 0;
+  std::uint64_t accepted_ GUARDED_BY(mu_) = 0;
+  std::uint64_t rejected_ GUARDED_BY(mu_) = 0;
+  std::uint64_t completed_ GUARDED_BY(mu_) = 0;
+  std::uint64_t deadline_expired_ GUARDED_BY(mu_) = 0;
+  std::uint64_t failed_ GUARDED_BY(mu_) = 0;
+  std::uint64_t bad_requests_ GUARDED_BY(mu_) = 0;
+  std::vector<double> latency_samples_ GUARDED_BY(mu_);
+  std::vector<double> wait_samples_ GUARDED_BY(mu_);
+  std::size_t latency_next_ GUARDED_BY(mu_) = 0;
+  std::size_t wait_next_ GUARDED_BY(mu_) = 0;
 
   Clock::time_point epoch_ = Clock::now();
 

@@ -22,17 +22,17 @@ std::string_view to_string(Category category) noexcept {
 void Tracer::record(std::int64_t time_ns, Category category,
                     std::int64_t subject, std::string detail) {
   if (!enabled()) return;
-  std::lock_guard lock{mu_};
+  pevpm::MutexLock lock{mu_};
   records_.push_back(Record{time_ns, category, subject, std::move(detail)});
 }
 
 std::size_t Tracer::size() const {
-  std::lock_guard lock{mu_};
+  pevpm::MutexLock lock{mu_};
   return records_.size();
 }
 
 std::size_t Tracer::count(Category category) const {
-  std::lock_guard lock{mu_};
+  pevpm::MutexLock lock{mu_};
   std::size_t n = 0;
   for (const auto& record : records_) {
     if (record.category == category) ++n;
@@ -41,12 +41,12 @@ std::size_t Tracer::count(Category category) const {
 }
 
 void Tracer::clear() {
-  std::lock_guard lock{mu_};
+  pevpm::MutexLock lock{mu_};
   records_.clear();
 }
 
 void Tracer::dump_csv(std::ostream& os) const {
-  std::lock_guard lock{mu_};
+  pevpm::MutexLock lock{mu_};
   os << "time_ns,category,subject,detail\n";
   for (const auto& record : records_) {
     os << record.time_ns << ',' << to_string(record.category) << ','

@@ -14,10 +14,11 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "core/thread_annotations.h"
 
 namespace trace {
 
@@ -52,24 +53,27 @@ class Tracer {
   }
 
   void record(std::int64_t time_ns, Category category, std::int64_t subject,
-              std::string detail);
+              std::string detail) EXCLUDES(mu_);
 
   /// Unsynchronised view of the records; callers must ensure no thread is
   /// recording concurrently (recording threads joined or otherwise done).
-  [[nodiscard]] const std::vector<Record>& records() const noexcept {
+  /// The quiesced-access contract is exactly what the analysis cannot see,
+  /// hence the explicit opt-out.
+  [[nodiscard]] const std::vector<Record>& records() const noexcept
+      NO_THREAD_SAFETY_ANALYSIS {
     return records_;
   }
-  [[nodiscard]] std::size_t size() const;
-  [[nodiscard]] std::size_t count(Category category) const;
-  void clear();
+  [[nodiscard]] std::size_t size() const EXCLUDES(mu_);
+  [[nodiscard]] std::size_t count(Category category) const EXCLUDES(mu_);
+  void clear() EXCLUDES(mu_);
 
   /// CSV rows "time_ns,category,subject,detail".
-  void dump_csv(std::ostream& os) const;
+  void dump_csv(std::ostream& os) const EXCLUDES(mu_);
 
  private:
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;
-  std::vector<Record> records_;
+  mutable pevpm::Mutex mu_;
+  std::vector<Record> records_ GUARDED_BY(mu_);
 };
 
 /// A process-wide tracer for ad-hoc debugging; libraries take a Tracer*

@@ -1,0 +1,36 @@
+// Fixture: every banned nondeterminism source, plus the look-alikes the
+// linter must NOT flag (member calls, identifiers that merely contain a
+// banned name, banned names in comments and strings).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+struct Frame {
+  double time = 0.0;
+  int rand = 0;
+  void* free(int) { return nullptr; }
+};
+
+int fixture_banned() {
+  std::random_device rd;                       // flagged: random_device
+  std::srand(rd());                            // flagged: srand
+  int r = rand();                              // flagged: rand
+  auto t = std::time(nullptr);                 // flagged: time
+  auto now = std::chrono::system_clock::now(); // flagged: system_clock
+  const char* home = getenv("HOME");           // flagged: getenv
+  (void)now;
+  (void)home;
+  return r + static_cast<int>(t);
+}
+
+int fixture_clean_lookalikes(Frame& frame) {
+  // rand() and time() in a comment must not be flagged.
+  const char* msg = "call rand() and time() for chaos";  // nor in a string
+  frame.free(0);                // member call named like free()
+  double when = frame.time;     // field access, no call
+  int runtime_ = frame.rand;    // field named rand, no call
+  auto busy_time = [] { return 1; };
+  (void)msg;
+  return static_cast<int>(when) + runtime_ + busy_time();
+}

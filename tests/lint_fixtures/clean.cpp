@@ -1,0 +1,9 @@
+// Fixture: unremarkable code the linter must pass untouched.
+#include <cstdint>
+#include <vector>
+
+std::uint64_t fixture_sum(const std::vector<std::uint64_t>& values) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t v : values) total += v;
+  return total;
+}

@@ -1,0 +1,29 @@
+// Fixture: allocation, locking, and iostream inside a hot-path fence are
+// findings; identical code outside the fence is not.
+#include <memory>
+#include <mutex>
+#include <vector>
+
+std::vector<int> g_pool;
+
+void warm_path_setup() {
+  g_pool.reserve(64);
+  auto scratch = std::make_unique<int[]>(64);  // fine: outside the fence
+  (void)scratch;
+}
+
+// LINT:hot-path begin (fixture dispatch loop)
+int hot_dispatch(int index) {
+  int* leaked = new int{index};         // flagged: new
+  std::mutex gate;                      // flagged: mutex
+  std::lock_guard<std::mutex> hold{gate};  // flagged: lock_guard
+  int value = *leaked;
+  delete leaked;                        // flagged: delete
+  return value + g_pool[0];             // fine: indexing preallocated pool
+}
+// LINT:hot-path end
+
+void cold_path_teardown() {
+  auto tail = std::make_shared<int>(0);  // fine: outside the fence again
+  (void)tail;
+}

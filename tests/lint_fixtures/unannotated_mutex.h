@@ -1,0 +1,22 @@
+// Fixture: mutex members with and without GUARDED_BY partners. The doc
+// comment below mentions GUARDED_BY(naked_) on purpose: a partner that
+// appears only in a comment must not satisfy the rule.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <shared_mutex>
+
+// Talking about GUARDED_BY(naked_) here does not count as an annotation.
+class FixtureGuarded {
+ private:
+  std::mutex annotated_;  // fine: hits_ below carries the partner
+  std::size_t hits_ GUARDED_BY(annotated_) = 0;
+};
+
+class FixtureNaked {
+ private:
+  std::mutex naked_;          // flagged: no GUARDED_BY(naked_) in code
+  std::shared_mutex shared_;  // flagged: no GUARDED_BY(shared_) at all
+  std::size_t count_ = 0;
+};

@@ -1,0 +1,14 @@
+// Fixture: `using namespace` at header scope is a finding; the same text
+// in a comment or string is not, and using-declarations are fine.
+#pragma once
+
+#include <string>
+
+using namespace std;  // flagged
+
+// using namespace std; in a comment is fine.
+using std::string;  // fine: using-declaration, not a directive
+
+inline const char* fixture_text() {
+  return "using namespace std;";  // fine: string literal
+}

@@ -56,11 +56,11 @@ TEST(RouteCache, HopCountMatchesRouteLength) {
 TEST(RouteCache, ArgumentValidationMatchesRoute) {
   des::Engine engine;
   net::Network network{engine, net::perseus(4)};
-  EXPECT_THROW(network.route_span(0, 0), std::invalid_argument);
-  EXPECT_THROW(network.hop_count(2, 2), std::invalid_argument);
-  EXPECT_THROW(network.route_span(-1, 2), std::out_of_range);
-  EXPECT_THROW(network.route_span(0, 4), std::out_of_range);
-  EXPECT_THROW(network.hop_count(4, 0), std::out_of_range);
+  EXPECT_THROW((void)network.route_span(0, 0), std::invalid_argument);
+  EXPECT_THROW((void)network.hop_count(2, 2), std::invalid_argument);
+  EXPECT_THROW((void)network.route_span(-1, 2), std::out_of_range);
+  EXPECT_THROW((void)network.route_span(0, 4), std::out_of_range);
+  EXPECT_THROW((void)network.hop_count(4, 0), std::out_of_range);
 }
 
 TEST(RouteCache, ParamsSurviveByValueConstruction) {
