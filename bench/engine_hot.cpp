@@ -10,6 +10,9 @@
 //     live speedup ratio,
 //   * packets/sec and allocations/packet through the full Network
 //     forwarding path (route cache + transit pool + TCP-sized frames),
+//   * the conservative-parallel thread-scaling curve: one fixed
+//     multi-switch contention workload on an 8-partition PartitionSet,
+//     driven by 1, 2, 4 and 8 worker threads,
 //
 // with heap allocations counted by instrumented global operator new. The
 // result is printed as JSON (and written to PEVPM_BENCH_JSON when set).
@@ -19,7 +22,10 @@
 //
 // With --check, current throughput must be at least 80% of the committed
 // baseline and allocation rates must not exceed baseline + 0.05; any miss
-// prints the offending metric and exits 1 (the CI perf-smoke gate).
+// prints the offending metric and exits 1 (the CI perf-smoke gate). The
+// thread-scaling gate (>= 3x events/sec at 8 threads over 1) only applies
+// when the machine actually has 8 hardware threads; on smaller machines it
+// prints a skip notice instead of failing.
 // PEVPM_BENCH_QUICK=1 scales iteration counts down ~10x.
 #include <atomic>
 #include <chrono>
@@ -33,11 +39,13 @@
 #include <queue>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <unordered_set>
 #include <vector>
 
 #include "bench_util.h"
 #include "des/engine.h"
+#include "des/partitioned_engine.h"
 #include "net/cluster.h"
 #include "net/network.h"
 #include "net/packet.h"
@@ -310,6 +318,96 @@ ForwardResult run_forwarding(std::uint64_t packets) {
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// Conservative-parallel scaling: the multi-switch contention scenario. Eight
+// partitions (one per "switch"), each loaded with self-rescheduling timer
+// chains as in the mix above, plus a ring of cross-partition posts so the
+// mailbox exchange and window barriers are on the measured path. The
+// workload is a pure function of its constants — every thread count
+// executes exactly the same events — so events/sec at 1 vs 8 threads is a
+// clean parallel-efficiency measurement.
+
+constexpr int kScalingPartitions = 8;
+constexpr int kScalingChainsPerPartition = 64;
+/// Window size: chains fire every 1..1024 ticks, so each partition executes
+/// a few hundred events per window and the barrier cost is amortised.
+constexpr des::SimTime kScalingLookahead = 4096;
+
+struct PartitionChain {
+  des::PartitionSet& sim;
+  int part;
+  std::uint64_t lcg;
+  std::uint64_t budget;
+  std::uint64_t fired = 0;
+
+  std::uint64_t next_rand() {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    return lcg >> 33;
+  }
+
+  void arm() {
+    des::Engine& engine = sim.engine(part);
+    const des::SimTime dt = 1 + static_cast<des::SimTime>(next_rand() & 1023);
+    Payload payload;
+    engine.schedule_in(dt, [this, payload] {
+      (void)payload;
+      ++fired;
+      sim.engine(part).schedule_in(0, [] {});
+      if ((fired & 7) == 0) {
+        // Cross-partition ping to the ring neighbour, one lookahead out —
+        // the trunk-hop pattern the partitioned Network generates.
+        const int to = (part + 1) % kScalingPartitions;
+        sim.post(part, to, sim.engine(part).now() + kScalingLookahead,
+                 [] {});
+      }
+      if (--budget > 0) arm();
+    });
+  }
+};
+
+/// Runs the scaling scenario once and returns events/sec.
+double run_partitioned(std::uint64_t events_per_chain, unsigned threads) {
+  des::PartitionSet sim{kScalingPartitions, kScalingLookahead};
+  std::vector<PartitionChain> chains;
+  chains.reserve(kScalingPartitions * kScalingChainsPerPartition);
+  for (int p = 0; p < kScalingPartitions; ++p) {
+    for (int c = 0; c < kScalingChainsPerPartition; ++c) {
+      chains.push_back(PartitionChain{
+          sim, p,
+          0x9e3779b97f4a7c15ULL +
+              static_cast<std::uint64_t>(p * kScalingChainsPerPartition + c),
+          events_per_chain});
+    }
+  }
+  for (PartitionChain& chain : chains) chain.arm();
+  const auto t0 = Clock::now();
+  sim.run(threads);
+  const double elapsed = seconds_since(t0);
+  return static_cast<double>(sim.processed()) / elapsed;
+}
+
+struct ScalingResult {
+  double events_per_sec_t1 = 0;
+  double events_per_sec_t2 = 0;
+  double events_per_sec_t4 = 0;
+  double events_per_sec_t8 = 0;
+  [[nodiscard]] double speedup_t8() const {
+    return events_per_sec_t8 / events_per_sec_t1;
+  }
+};
+
+ScalingResult run_scaling(std::uint64_t events_per_chain) {
+  // One throwaway pass warms the allocator arenas and thread stacks so the
+  // per-thread-count passes start from the same state.
+  (void)run_partitioned(events_per_chain / 4 + 1, 2);
+  ScalingResult result;
+  result.events_per_sec_t1 = run_partitioned(events_per_chain, 1);
+  result.events_per_sec_t2 = run_partitioned(events_per_chain, 2);
+  result.events_per_sec_t4 = run_partitioned(events_per_chain, 4);
+  result.events_per_sec_t8 = run_partitioned(events_per_chain, 8);
+  return result;
+}
+
 /// Minimal lookup of `"key": <number>` in a flat JSON document. Good
 /// enough for the baseline files this benchmark writes itself.
 bool json_number(const std::string& doc, const std::string& key,
@@ -327,14 +425,15 @@ struct Results {
   MixResult mix;
   MixResult ref_mix;
   ForwardResult forward;
+  ScalingResult scaling;
 };
 
 std::string to_json(const Results& r) {
-  char buf[1024];
+  char buf[2048];
   std::snprintf(
       buf, sizeof(buf),
       "{\n"
-      "  \"schema\": \"pevpm-engine-hot-v1\",\n"
+      "  \"schema\": \"pevpm-engine-hot-v2\",\n"
       "  \"engine_events_per_sec\": %.0f,\n"
       "  \"engine_allocs_per_event\": %.4f,\n"
       "  \"reference_events_per_sec\": %.0f,\n"
@@ -342,13 +441,20 @@ std::string to_json(const Results& r) {
       "  \"speedup_vs_reference\": %.2f,\n"
       "  \"forward_packets_per_sec\": %.0f,\n"
       "  \"forward_allocs_per_packet\": %.4f,\n"
-      "  \"forward_events_per_sec\": %.0f\n"
+      "  \"forward_events_per_sec\": %.0f,\n"
+      "  \"partitioned_events_per_sec_t1\": %.0f,\n"
+      "  \"partitioned_events_per_sec_t2\": %.0f,\n"
+      "  \"partitioned_events_per_sec_t4\": %.0f,\n"
+      "  \"partitioned_events_per_sec_t8\": %.0f,\n"
+      "  \"partitioned_speedup_t8\": %.2f\n"
       "}\n",
       r.mix.events_per_sec, r.mix.allocs_per_event,
       r.ref_mix.events_per_sec, r.ref_mix.allocs_per_event,
       r.mix.events_per_sec / r.ref_mix.events_per_sec,
       r.forward.packets_per_sec, r.forward.allocs_per_packet,
-      r.forward.events_per_sec);
+      r.forward.events_per_sec, r.scaling.events_per_sec_t1,
+      r.scaling.events_per_sec_t2, r.scaling.events_per_sec_t4,
+      r.scaling.events_per_sec_t8, r.scaling.speedup_t8());
   return buf;
 }
 
@@ -363,6 +469,7 @@ int check_against(const Results& r, const std::string& baseline_doc) {
   const Gate gates[] = {
       {"engine_events_per_sec", r.mix.events_per_sec, true},
       {"forward_packets_per_sec", r.forward.packets_per_sec, true},
+      {"partitioned_events_per_sec_t1", r.scaling.events_per_sec_t1, true},
       {"engine_allocs_per_event", r.mix.allocs_per_event, false},
       {"forward_allocs_per_packet", r.forward.allocs_per_packet, false},
   };
@@ -389,6 +496,25 @@ int check_against(const Results& r, const std::string& baseline_doc) {
       ++violations;
     }
   }
+  // The parallel-efficiency gate is absolute (not baseline-relative): the
+  // partitioned engine must deliver >= 3x events/sec with 8 worker threads
+  // over 1 on the contention scenario. It is meaningless without the
+  // hardware to back it, so it only arms on machines with >= 8 threads.
+  if (std::thread::hardware_concurrency() >= 8) {
+    const double speedup = r.scaling.speedup_t8();
+    if (speedup < 3.0) {
+      std::fprintf(stderr,
+                   "check: partitioned_speedup_t8 regressed: %.2fx < 3.00x "
+                   "required on %u hardware threads\n",
+                   speedup, std::thread::hardware_concurrency());
+      ++violations;
+    }
+  } else {
+    std::printf(
+        "check: skipping partitioned_speedup_t8 gate (needs >= 8 hardware "
+        "threads, have %u)\n",
+        std::thread::hardware_concurrency());
+  }
   return violations;
 }
 
@@ -409,10 +535,14 @@ int main(int argc, char** argv) {
       benchutil::quick() ? 20000 : 200000;  // per chain x 8 chains
   const std::uint64_t packets = benchutil::quick() ? 20000 : 200000;
 
+  const std::uint64_t scaling_events =
+      benchutil::quick() ? 4000 : 40000;  // per chain x 64 chains x 8 parts
+
   Results results;
   results.mix = run_mix<des::Engine>(mix_events, 8);
   results.ref_mix = run_mix<refdes::Engine>(mix_events, 8);
   results.forward = run_forwarding(packets);
+  results.scaling = run_scaling(scaling_events);
 
   const std::string json = to_json(results);
   std::printf("%s", json.c_str());

@@ -38,8 +38,12 @@ DeliverySampler::Cell& DeliverySampler::cell(mpibench::OpKind op,
                                              net::Bytes bytes,
                                              int contention) {
   const auto op_id = static_cast<std::int32_t>(op);
-  if (last_cell_ != kEmpty) {
-    Cell& memo = cells_[last_cell_];
+  // Relaxed is enough: the memo is a hint, re-validated against the full
+  // key, and concurrent readers (see the class contract) only ever see an
+  // index another reader stored after the cell vector stopped growing.
+  const std::uint32_t memo_pos = last_cell_.load(std::memory_order_relaxed);
+  if (memo_pos != kEmpty) {
+    Cell& memo = cells_[memo_pos];
     if (memo.op == op_id && memo.bytes == bytes &&
         memo.contention == contention) {
       return memo;
@@ -51,7 +55,7 @@ DeliverySampler::Cell& DeliverySampler::cell(mpibench::OpKind op,
   while (index_[b] != kEmpty) {
     Cell& c = cells_[index_[b]];
     if (c.op == op_id && c.bytes == bytes && c.contention == contention) {
-      last_cell_ = index_[b];
+      last_cell_.store(index_[b], std::memory_order_relaxed);
       return c;
     }
     b = (b + 1) & mask;
@@ -63,7 +67,7 @@ DeliverySampler::Cell& DeliverySampler::cell(mpibench::OpKind op,
   fresh.contention = contention;
   fresh.dist = std::move(dist);
   index_[b] = static_cast<std::uint32_t>(cells_.size() - 1);
-  last_cell_ = index_[b];
+  last_cell_.store(index_[b], std::memory_order_relaxed);
   // Keep the load factor under 1/2 so probe chains stay short.
   if (cells_.size() * 2 >= index_.size()) rehash(index_.size() * 2);
   return cells_.back();

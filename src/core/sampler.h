@@ -19,6 +19,7 @@
 //                   "2x1" curves; or n*p for the "n x p averages" curves)
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <utility>
@@ -46,6 +47,14 @@ struct SamplerOptions {
   bool sample_from_fits = false;
 };
 
+// Thread-safety contract: a DeliverySampler is single-threaded while any
+// call can grow the cell index or draw randomness. Once every (op, size,
+// contention) key has been resolved at least once (warm), deterministic
+// modes — kAverage / kMinimum without sample_from_fits — become read-only
+// and MAY be called from several threads concurrently: the only remaining
+// write is the last-cell memo, which is atomic and key-validated, so a
+// racing update is at worst one wasted probe. kDistribution mode and fit
+// sampling mutate the RNG / fit cache and stay single-threaded.
 class DeliverySampler {
  public:
   DeliverySampler(const mpibench::DistributionTable& table,
@@ -110,8 +119,11 @@ class DeliverySampler {
   std::vector<Cell> cells_;
   std::vector<std::uint32_t> index_;
   /// Draws cluster on one key (a model phase hammers a single message
-  /// size), so the last resolved cell is checked before probing.
-  std::uint32_t last_cell_ = kEmpty;
+  /// size), so the last resolved cell is checked before probing. Atomic
+  /// (relaxed) because of the concurrent-read contract above: a stale or
+  /// torn-free racing value only costs one extra probe, never wrong data,
+  /// since the memo is validated against the full key on every use.
+  std::atomic<std::uint32_t> last_cell_{kEmpty};
 };
 
 }  // namespace pevpm

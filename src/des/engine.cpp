@@ -78,6 +78,7 @@ void Engine::dispatch(const HeapEntry& head) {
   slot.state = SlotState::kRunning;
   --live_;
   now_ = head.time;
+  last_dispatch_ = head.time;
   ++processed_;
   struct Guard {
     Engine* engine;

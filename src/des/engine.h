@@ -1,16 +1,23 @@
 // Discrete-event engine.
 //
-// Events are ordered by (time, priority, sequence number): simultaneous
-// events execute in a deterministic order, and the sequence tiebreak makes
-// same-time same-priority events FIFO. Exactly one execution context (the
-// engine loop or one cooperative process) is active at any instant, so the
-// queue needs no locking; the process hand-off (process.h) provides the
-// happens-before edges between contexts.
+// Events are ordered by (time, priority, schedule time, sequence number):
+// simultaneous events execute in a deterministic order, and the
+// schedule-time + sequence tiebreak makes same-time same-priority events
+// FIFO. Within one engine `sched` (the value of now() when the event was
+// scheduled) is non-decreasing in sequence order, so the extra key changes
+// nothing sequentially; it exists for the partitioned engine
+// (partitioned_engine.h), where events injected from a neighbouring
+// partition carry their *source* schedule time and therefore tie-break
+// against local events exactly as they would have in a single sequential
+// engine. Exactly one execution context (the engine loop or one
+// cooperative process) is active at any instant, so the queue needs no
+// locking; the process hand-off (process.h) provides the happens-before
+// edges between contexts.
 //
 // Storage is allocation-free in steady state: events live in pooled slots
 // recycled through a free list, callbacks are constructed directly into the
 // slot's inline buffer (smallfn.h), and the ready queue is a 4-ary heap of
-// 24-byte entries whose ordering keys are embedded in the entry itself, so
+// 32-byte entries whose ordering keys are embedded in the entry itself, so
 // comparisons never chase a pointer. Slots live in fixed-size chunks with
 // stable addresses, which lets a callback run in place while it schedules
 // further events. Cancellation is lazy — the slot is flagged and its
@@ -63,7 +70,7 @@ class Engine {
     Slot& slot = slot_at(index);
     slot.fn.emplace(std::forward<F>(fn));
     slot.state = SlotState::kScheduled;
-    const HeapEntry entry{t, next_seq_++, index, priority};
+    const HeapEntry entry{t, now_, next_seq_++, index, priority};
     // Immediate default-priority events (the process wake-up pattern) skip
     // the heap: successive pushes have non-decreasing (time, seq), so the
     // FIFO is already sorted and the dispatcher only compares its front
@@ -86,6 +93,27 @@ class Engine {
     return schedule_at(now_ + dt, std::forward<F>(fn), priority);
   }
 
+  /// Schedules an event injected from another execution context (the
+  /// partitioned engine's cross-partition mailbox drain). `sched` is the
+  /// source context's virtual time at the instant the event was produced
+  /// (<= t); it participates in tie-breaking as if the event had been
+  /// scheduled locally at that time, which is what keeps a partitioned run
+  /// ordering-equivalent to the sequential one. Always takes the heap path:
+  /// injected events lie at least one lookahead beyond now.
+  EventId schedule_injected(SimTime t, SimTime sched, SmallFn fn,
+                            int priority = 0) {
+    if (t < now_ || sched > t) {
+      throw std::invalid_argument{"Engine::schedule_injected: bad times"};
+    }
+    const std::uint32_t index = acquire_slot();
+    Slot& slot = slot_at(index);
+    slot.fn = std::move(fn);
+    slot.state = SlotState::kScheduled;
+    heap_push(HeapEntry{t, sched, next_seq_++, index, priority});
+    ++live_;
+    return EventId{index + 1, slot_at(index).gen};
+  }
+
   /// Cancels a pending event. Returns false if it already ran, is
   /// currently running, or was already cancelled.
   bool cancel(EventId id);
@@ -102,6 +130,26 @@ class Engine {
   [[nodiscard]] std::size_t pending() const noexcept { return live_; }
   [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
   [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
+
+  /// Timestamp of the earliest queued entry, or kNever when the queue is
+  /// empty. A lazily-cancelled entry may report its (stale) time — callers
+  /// using this as a window bound get a conservative (possibly empty)
+  /// window, never a wrong one, and run_until() purges such entries.
+  [[nodiscard]] SimTime next_event_time() const noexcept {
+    const bool have_fifo = fifo_head_ < fifo_.size();
+    if (heap_.empty()) return have_fifo ? fifo_[fifo_head_].time : kNever;
+    if (have_fifo && fifo_[fifo_head_].time < heap_[0].time) {
+      return fifo_[fifo_head_].time;
+    }
+    return heap_[0].time;
+  }
+
+  /// Time at which the most recent event dispatched, independent of where
+  /// run_until() later advanced now(). This is the partitioned engine's
+  /// notion of "when work last happened" for computing the finish time.
+  [[nodiscard]] SimTime last_dispatch_time() const noexcept {
+    return last_dispatch_;
+  }
 
  private:
   static constexpr std::uint32_t kNil = UINT32_MAX;
@@ -126,9 +174,11 @@ class Engine {
   };
 
   /// Heap entries carry the full ordering key so sift operations compare
-  /// without touching the slot pool.
+  /// without touching the slot pool. `sched` is now() at schedule time
+  /// (locally monotone with seq, so a no-op for purely local runs).
   struct HeapEntry {
     SimTime time = 0;
+    SimTime sched = 0;
     std::uint64_t seq = 0;
     std::uint32_t slot = 0;
     std::int32_t priority = 0;
@@ -138,6 +188,7 @@ class Engine {
                                    const HeapEntry& b) noexcept {
     if (a.time != b.time) return a.time < b.time;
     if (a.priority != b.priority) return a.priority < b.priority;
+    if (a.sched != b.sched) return a.sched < b.sched;
     return a.seq < b.seq;
   }
 
@@ -174,6 +225,7 @@ class Engine {
   std::uint32_t free_head_ = kNil;
   std::size_t live_ = 0;  ///< scheduled and not cancelled
   SimTime now_ = 0;
+  SimTime last_dispatch_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t processed_ = 0;
 };

@@ -18,9 +18,11 @@ namespace des {
 
 class SmallFn {
  public:
-  /// Sized for the largest hot-path capture: a net::Packet (48 bytes) plus
-  /// a std::function delivery callback (32 bytes) on the final network hop.
-  static constexpr std::size_t kInlineBytes = 88;
+  /// Sized for the largest hot-path capture: the cross-partition hop
+  /// continuation (network pointer + hop bookkeeping + a net::Packet +
+  /// a std::function delivery callback, ~104 bytes) shipped through the
+  /// partitioned engine's mailboxes.
+  static constexpr std::size_t kInlineBytes = 112;
 
   /// True when a callable of type F is stored in the inline buffer rather
   /// than on the heap. Exposed so benchmarks can assert hot-path callbacks

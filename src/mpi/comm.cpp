@@ -29,11 +29,16 @@ enum CollTag : int {
 
 double Comm::wtime() const {
   const auto& state = runtime_.rank_state(rank_);
-  const double t = des::to_seconds(runtime_.engine().now());
+  // The rank's own partition clock: in a partitioned run another engine
+  // may be ahead or behind within the window, but this rank's events all
+  // happen on this one.
+  const double t = des::to_seconds(runtime_.engine_of_rank(rank_).now());
   return t * (1.0 + state.clock_drift) + state.clock_offset_s;
 }
 
-des::SimTime Comm::sim_now() const noexcept { return runtime_.engine().now(); }
+des::SimTime Comm::sim_now() const noexcept {
+  return runtime_.engine_of_rank(rank_).now();
+}
 
 void Comm::compute(double seconds) { runtime_.compute(rank_, seconds); }
 

@@ -12,12 +12,15 @@ namespace smpi {
 
 Runtime::Runtime(Options options)
     : options_{std::move(options)},
-      network_{engine_, options_.cluster},
-      transport_{engine_, network_} {
+      sim_{options_.sim_threads == 0 ? 1 : options_.cluster.switch_count(),
+           options_.cluster.lookahead()},
+      network_{sim_, options_.cluster},
+      transport_{sim_, network_} {
   if (options_.nprocs < 1) throw MpiError{"Runtime: nprocs < 1"};
   if (options_.procs_per_node < 1) {
     throw MpiError{"Runtime: procs_per_node < 1"};
   }
+  if (options_.sim_threads < 0) throw MpiError{"Runtime: sim_threads < 0"};
   const long capacity = static_cast<long>(options_.cluster.nodes) *
                         options_.procs_per_node;
   if (options_.nprocs > capacity) {
@@ -27,6 +30,7 @@ Runtime::Runtime(Options options)
        << options_.procs_per_node << " ppn)";
     throw MpiError{os.str()};
   }
+  parts_.resize(static_cast<std::size_t>(sim_.partitions()));
   stats::Rng master{options_.seed};
   ranks_.reserve(options_.nprocs);
   comms_.reserve(options_.nprocs);
@@ -63,11 +67,11 @@ void Runtime::run(const std::function<void(Comm&)>& rank_main) {
   for (auto& state : ranks_) {
     Comm& comm = *comms_[state->rank];
     state->process = std::make_unique<des::Process>(
-        engine_, "rank" + std::to_string(state->rank),
+        engine_of_rank(state->rank), "rank" + std::to_string(state->rank),
         [&rank_main, &comm] { rank_main(comm); });
   }
-  engine_.run();
-  finish_time_ = engine_.now();
+  sim_.run(static_cast<unsigned>(std::max(1, options_.sim_threads)));
+  finish_time_ = sim_.last_event_time();
 
   for (auto& state : ranks_) state->process->rethrow_if_failed();
 
@@ -140,13 +144,15 @@ Request Runtime::isend(int src, std::span<const std::byte> data,
 
   if (src_node == dst_node) {
     // SMP shared-memory channel: always eager; pay the copy, then the
-    // message crosses the memory system.
+    // message crosses the memory system. Same node means same partition,
+    // so the arrival event and the per-sender ordering state are local.
     rs.process->delay(send_cost(rs, bytes));
+    des::Engine& engine = engine_of_rank(src);
     const auto& host = options_.cluster.host;
     const auto xfer = static_cast<des::SimTime>(
         static_cast<double>(host.smp_latency) +
         static_cast<double>(bytes) / host.smp_rate.byte_per_sec() * 1e9);
-    des::SimTime arrive = engine_.now() + jittered(rs, xfer);
+    des::SimTime arrive = engine.now() + jittered(rs, xfer);
     // Non-overtaking per sender on the SMP channel.
     detail::RankState& rd = rank_state(dst);
     des::SimTime& last = rd.smp_last_arrival[src];
@@ -158,7 +164,7 @@ Request Runtime::isend(int src, std::span<const std::byte> data,
                             .is_rts = false,
                             .rendezvous = 0,
                             .payload = std::move(payload)};
-    engine_.schedule_at(arrive, [this, dst, inbound = std::move(inbound)] {
+    engine.schedule_at(arrive, [this, dst, inbound = std::move(inbound)] {
       eager_arrive(dst, inbound);
     });
     req->complete = true;
@@ -182,16 +188,17 @@ Request Runtime::isend(int src, std::span<const std::byte> data,
     return Request{req};
   }
 
-  // Rendezvous: announce with an RTS; data follows the receiver's CTS.
+  // Rendezvous: announce with an RTS; data follows the receiver's CTS. The
+  // sender half (request, payload) stays in this partition, filed under an
+  // id that encodes the source rank.
   rs.process->delay(jittered(rs, options_.cluster.host.send_overhead));
-  const std::uint64_t id = next_rendezvous_++;
-  rendezvous_[id] = PendingRendezvous{.send_request = req,
-                                      .recv_request = nullptr,
-                                      .src_rank = src,
-                                      .dst_rank = dst,
-                                      .tag = tag,
-                                      .bytes = bytes,
-                                      .payload = std::move(payload)};
+  const std::uint64_t id = rendezvous_id(src, rs.next_rendezvous++);
+  parts_[static_cast<std::size_t>(partition_of_rank(src))].rdv_out.emplace(
+      id, RendezvousOut{.send_request = req,
+                        .src_rank = src,
+                        .dst_rank = dst,
+                        .bytes = bytes,
+                        .payload = std::move(payload)});
   detail::Inbound rts{.source = src,
                       .tag = tag,
                       .bytes = bytes,
@@ -280,7 +287,7 @@ void Runtime::eager_arrive(int dst, detail::Inbound inbound) {
       auto recv = *it;
       rd.posted_recvs.erase(it);
       complete_recv_at(recv, inbound,
-                       engine_.now() + recv_cost(rd, inbound.bytes));
+                       engine_of_rank(dst).now() + recv_cost(rd, inbound.bytes));
       return;
     }
   }
@@ -314,7 +321,8 @@ bool Runtime::match_posted_against_unexpected(
       grant_rendezvous(rank, recv, inbound);
     } else {
       complete_recv_at(recv, inbound,
-                       engine_.now() + recv_cost(rank, inbound.bytes));
+                       engine_of_rank(rank.rank).now() +
+                           recv_cost(rank, inbound.bytes));
     }
     return true;
   }
@@ -324,64 +332,75 @@ bool Runtime::match_posted_against_unexpected(
 void Runtime::grant_rendezvous(detail::RankState& rank,
                                const std::shared_ptr<detail::RequestState>& recv,
                                const detail::Inbound& inbound) {
-  auto it = rendezvous_.find(inbound.rendezvous);
-  if (it == rendezvous_.end()) {
-    throw MpiError{"internal: rendezvous entry missing"};
-  }
-  PendingRendezvous& pending = it->second;
-  pending.recv_request = recv;
-  const int src = pending.src_rank;
-  const int dst = pending.dst_rank;
-  const std::uint64_t id = inbound.rendezvous;
-  // CTS flows back on the reverse-direction stream.
-  transport_.send(stream_id(dst, src), rank_state(dst).node,
-                  rank_state(src).node, options_.cluster.mpi.rendezvous_ctrl,
-                  [this, id] { cts_arrive(id); });
-  (void)rank;
+  // Runs in the destination partition: file the receiver half here, then
+  // CTS back on the reverse-direction stream. The id alone lets the CTS
+  // handler find the sender half in the source partition.
+  const int src = inbound.source;
+  const int dst = rank.rank;
+  parts_[static_cast<std::size_t>(partition_of_rank(dst))].rdv_in.emplace(
+      inbound.rendezvous, RendezvousIn{.recv_request = recv,
+                                       .src_rank = src,
+                                       .tag = inbound.tag,
+                                       .bytes = inbound.bytes});
+  transport_.send(stream_id(dst, src), rank.node, rank_state(src).node,
+                  options_.cluster.mpi.rendezvous_ctrl,
+                  [this, id = inbound.rendezvous] { cts_arrive(id); });
 }
 
 void Runtime::cts_arrive(std::uint64_t rendezvous) {
-  auto it = rendezvous_.find(rendezvous);
-  if (it == rendezvous_.end()) {
+  // Runs in the source partition (the CTS landed at the sender's node).
+  const int src = rendezvous_src(rendezvous);
+  PartitionState& ps = parts_[static_cast<std::size_t>(partition_of_rank(src))];
+  auto it = ps.rdv_out.find(rendezvous);
+  if (it == ps.rdv_out.end()) {
     throw MpiError{"internal: CTS for unknown rendezvous"};
   }
-  PendingRendezvous& pending = it->second;
-  detail::RankState& rs = rank_state(pending.src_rank);
+  RendezvousOut pending = std::move(it->second);
+  ps.rdv_out.erase(it);
+  detail::RankState& rs = rank_state(src);
   const auto& mpi = options_.cluster.mpi;
   const int dst = pending.dst_rank;
   const std::uint64_t id = rendezvous;
-  transport_.send(stream_id(pending.src_rank, dst), rs.node,
-                  rank_state(dst).node, pending.bytes + mpi.eager_header,
-                  [this, dst, id] { rendezvous_data_arrive(dst, id); });
+  // The payload travels inside the delivery closure; the receiver half
+  // holds everything else it needs.
+  transport_.send(stream_id(src, dst), rs.node, rank_state(dst).node,
+                  pending.bytes + mpi.eager_header,
+                  [this, dst, id, payload = std::move(pending.payload)] {
+                    rendezvous_data_arrive(dst, id, payload);
+                  });
   // The sender's copy through the socket layer completes the send request.
   const auto copy = static_cast<des::SimTime>(
       options_.cluster.host.copy_ns_per_byte *
       static_cast<double>(pending.bytes));
-  complete_send_at(pending.send_request, engine_.now() + jittered(rs, copy));
+  complete_send_at(pending.send_request,
+                   engine_of_rank(src).now() + jittered(rs, copy));
 }
 
-void Runtime::rendezvous_data_arrive(int dst, std::uint64_t rendezvous) {
-  auto it = rendezvous_.find(rendezvous);
-  if (it == rendezvous_.end()) {
+void Runtime::rendezvous_data_arrive(
+    int dst, std::uint64_t rendezvous,
+    std::shared_ptr<std::vector<std::byte>> payload) {
+  PartitionState& ps = parts_[static_cast<std::size_t>(partition_of_rank(dst))];
+  auto it = ps.rdv_in.find(rendezvous);
+  if (it == ps.rdv_in.end()) {
     throw MpiError{"internal: data for unknown rendezvous"};
   }
-  PendingRendezvous pending = std::move(it->second);
-  rendezvous_.erase(it);
+  RendezvousIn pending = std::move(it->second);
+  ps.rdv_in.erase(it);
   detail::RankState& rd = rank_state(dst);
   detail::Inbound inbound{.source = pending.src_rank,
                           .tag = pending.tag,
                           .bytes = pending.bytes,
                           .is_rts = false,
                           .rendezvous = 0,
-                          .payload = std::move(pending.payload)};
+                          .payload = std::move(payload)};
   complete_recv_at(pending.recv_request, inbound,
-                   engine_.now() + recv_cost(rd, inbound.bytes));
+                   engine_of_rank(dst).now() + recv_cost(rd, inbound.bytes));
 }
 
 void Runtime::complete_recv_at(
     const std::shared_ptr<detail::RequestState>& recv,
     const detail::Inbound& inbound, des::SimTime when) {
-  engine_.schedule_at(when, [this, recv, inbound] {
+  engine_of_rank(recv->owner).schedule_at(when, [this, recv, inbound] {
     recv->status = Status{inbound.source, inbound.tag, inbound.bytes};
     if (inbound.bytes > recv->max_bytes) {
       recv->error = "recv truncation: message of " +
@@ -399,7 +418,7 @@ void Runtime::complete_recv_at(
 
 void Runtime::complete_send_at(
     const std::shared_ptr<detail::RequestState>& send, des::SimTime when) {
-  engine_.schedule_at(when, [this, send] {
+  engine_of_rank(send->owner).schedule_at(when, [this, send] {
     send->complete = true;
     if (auto& process = rank_state(send->owner).process) process->unpark();
   });

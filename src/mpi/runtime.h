@@ -16,6 +16,19 @@
 // Each rank also has a skewed local clock (offset + drift); MPIBench's
 // clock-synchronisation algorithm runs against these imperfect clocks just
 // as the real tool did against unsynchronised node clocks.
+//
+// Parallel simulation: the runtime always builds over a des::PartitionSet.
+// With Options::sim_threads == 0 the set has one partition and the
+// behaviour (event order, RNG draws, timings) is bit-identical to the
+// historical single-engine runtime. Otherwise the cluster is partitioned
+// by switch and a rank's state — its process, RNG, clock, receive queues,
+// rendezvous bookkeeping — is owned by its node's partition: every
+// process-context call runs on that partition's engine, and every
+// engine-context handler below runs in the partition that owns the rank it
+// touches, so no lock guards rank state. Rendezvous bookkeeping is split
+// into a sender half (keyed in the source partition) and a receiver half
+// (keyed in the destination partition); the rendezvous id encodes the
+// source rank so either side can find its half from the id alone.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +41,7 @@
 #include <vector>
 
 #include "des/engine.h"
+#include "des/partitioned_engine.h"
 #include "des/process.h"
 #include "net/cluster.h"
 #include "net/network.h"
@@ -81,6 +95,9 @@ struct RankState {
   std::deque<Inbound> unexpected;
   /// Enforces non-overtaking arrival order on the SMP channel, per sender.
   std::map<int, des::SimTime> smp_last_arrival;
+  /// Rank-local rendezvous counter; combined with the rank it yields ids
+  /// that are unique without a shared counter.
+  std::uint64_t next_rendezvous = 1;
 
   // Statistics.
   std::uint64_t messages_sent = 0;
@@ -100,6 +117,13 @@ class Runtime {
     /// uniformly in +-clock_offset_max_s, drifts in +-clock_drift_max.
     double clock_offset_max_s = 5e-3;
     double clock_drift_max = 2e-5;
+    /// 0: sequential simulation on a single engine (the historical
+    /// behaviour, bit for bit). N >= 1: partition the cluster by switch
+    /// and run the conservative parallel engine on N threads (N == 1 is
+    /// the serial reference of the same partitioned execution). Output is
+    /// identical for every N >= 1, and — by the determinism contract —
+    /// identical to the sequential run as well.
+    int sim_threads = 0;
   };
 
   explicit Runtime(Options options);
@@ -119,7 +143,15 @@ class Runtime {
   /// Virtual time at which the last rank finished.
   [[nodiscard]] des::SimTime elapsed() const noexcept { return finish_time_; }
 
-  [[nodiscard]] des::Engine& engine() noexcept { return engine_; }
+  /// The partition set the simulation runs on (one partition when
+  /// sim_threads == 0 or the topology has a single switch).
+  [[nodiscard]] des::PartitionSet& sim() noexcept { return sim_; }
+  /// Partition 0's engine — the whole simulation when sequential. Prefer
+  /// engine_of_rank() anywhere a specific rank's clock matters.
+  [[nodiscard]] des::Engine& engine() { return sim_.engine(0); }
+  [[nodiscard]] des::Engine& engine_of_rank(int rank) {
+    return sim_.engine(partition_of_rank(rank));
+  }
   [[nodiscard]] net::Network& network() noexcept { return network_; }
   [[nodiscard]] net::Transport& transport() noexcept { return transport_; }
   [[nodiscard]] int node_of(int rank) const;
@@ -129,6 +161,9 @@ class Runtime {
 
   detail::RankState& rank_state(int rank);
   [[nodiscard]] stats::Rng& rng_of(int rank);
+  [[nodiscard]] int partition_of_rank(int rank) {
+    return network_.partition_of_node(ranks_.at(rank)->node);
+  }
 
   // ---- process-context operations (called via Comm from rank threads) ----
   Request isend(int src, std::span<const std::byte> data, net::Bytes bytes,
@@ -142,10 +177,14 @@ class Runtime {
   void compute(int rank, double seconds);
 
   // ---- engine-context message machinery ----
+  // Each handler runs in the partition owning the rank it names: arrivals
+  // run where the transport delivers (the destination node's partition),
+  // cts_arrive where the CTS lands (the source node's).
   void eager_arrive(int dst, detail::Inbound inbound);
   void rts_arrive(int dst, detail::Inbound inbound);
   void cts_arrive(std::uint64_t rendezvous);
-  void rendezvous_data_arrive(int dst, std::uint64_t rendezvous);
+  void rendezvous_data_arrive(int dst, std::uint64_t rendezvous,
+                              std::shared_ptr<std::vector<std::byte>> payload);
 
   /// Matches a posted receive against an inbound message; returns true and
   /// completes/advances the protocol if they match.
@@ -155,6 +194,7 @@ class Runtime {
   bool match_posted_against_unexpected(detail::RankState& rank,
                                        const std::shared_ptr<detail::RequestState>& recv);
   /// Completes a receive request at `when` (engine event) and unparks.
+  /// Must be called from the owner rank's partition context.
   void complete_recv_at(const std::shared_ptr<detail::RequestState>& recv,
                         const detail::Inbound& inbound, des::SimTime when);
   void complete_send_at(const std::shared_ptr<detail::RequestState>& send,
@@ -175,26 +215,49 @@ class Runtime {
             << 32) |
            static_cast<std::uint32_t>(dst_rank);
   }
+  /// Rendezvous ids carry the source rank (biased so id 0 never occurs),
+  /// letting the CTS handler locate the sender-side half without it.
+  [[nodiscard]] static std::uint64_t rendezvous_id(int src_rank,
+                                                   std::uint64_t n) noexcept {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src_rank) + 1)
+            << 32) |
+           static_cast<std::uint32_t>(n);
+  }
+  [[nodiscard]] static int rendezvous_src(std::uint64_t id) noexcept {
+    return static_cast<int>((id >> 32) - 1);
+  }
 
   Options options_;
-  des::Engine engine_;
+  des::PartitionSet sim_;
   net::Network network_;
   net::Transport transport_;
 
   std::vector<std::unique_ptr<detail::RankState>> ranks_;
   std::vector<std::unique_ptr<Comm>> comms_;
 
-  struct PendingRendezvous {
-    std::shared_ptr<detail::RequestState> send_request;  ///< sender side
-    std::shared_ptr<detail::RequestState> recv_request;  ///< receiver side
+  /// Sender-side half of an in-flight rendezvous, owned by the source
+  /// node's partition.
+  struct RendezvousOut {
+    std::shared_ptr<detail::RequestState> send_request;
     int src_rank = -1;
     int dst_rank = -1;
-    int tag = kAnyTag;
     net::Bytes bytes = 0;
     std::shared_ptr<std::vector<std::byte>> payload;
   };
-  std::map<std::uint64_t, PendingRendezvous> rendezvous_;
-  std::uint64_t next_rendezvous_ = 1;
+  /// Receiver-side half, owned by the destination node's partition from
+  /// the moment the receive matches the RTS.
+  struct RendezvousIn {
+    std::shared_ptr<detail::RequestState> recv_request;
+    int src_rank = -1;
+    int tag = kAnyTag;
+    net::Bytes bytes = 0;
+  };
+  /// Per-partition MPI-layer state; touched only from its partition.
+  struct PartitionState {
+    std::map<std::uint64_t, RendezvousOut> rdv_out;
+    std::map<std::uint64_t, RendezvousIn> rdv_in;
+  };
+  std::vector<PartitionState> parts_;
 
   des::SimTime finish_time_ = 0;
   bool ran_ = false;

@@ -21,6 +21,7 @@ smpi::Runtime::Options runtime_options(const Options& options) {
   rt.procs_per_node = options.procs_per_node;
   rt.nprocs = options.nprocs();
   rt.seed = options.seed;
+  rt.sim_threads = options.sim_threads;
   return rt;
 }
 
@@ -41,8 +42,11 @@ PointToPointResult run_isend(const Options& options, net::Bytes size) {
       nprocs, std::vector<double>(total, 0.0));
   std::vector<std::vector<double>> recv_done(
       nprocs, std::vector<double>(total, 0.0));
-  stats::Summary sender_op;
-  stats::Histogram sender_hist{1e-6};
+  // Sender-side op durations are also logged per rank and folded in rank
+  // order after the run: rank bodies may execute on different partition
+  // threads, and a shared accumulator would race (and float-sum in
+  // execution order, which varies).
+  std::vector<std::vector<double>> sender_samples(nprocs);
 
   rt.run([&](smpi::Comm& comm) {
     const SyncedClock clock = SyncedClock::synchronise(comm,
@@ -63,9 +67,7 @@ PointToPointResult run_isend(const Options& options, net::Bytes size) {
         const double t0_local = comm.wtime();
         comm.wait(comm.isend_bytes(size, partner, kTagPing));
         if (rep >= options.warmup) {
-          const double dt = comm.wtime() - t0_local;
-          sender_op.add(dt);
-          sender_hist.add(dt);
+          sender_samples[r].push_back(comm.wtime() - t0_local);
         }
       } else {
         comm.recv_bytes(size, partner, kTagPing);
@@ -80,9 +82,7 @@ PointToPointResult run_isend(const Options& options, net::Bytes size) {
         const double t0_local = comm.wtime();
         comm.wait(comm.isend_bytes(size, partner, kTagPing));
         if (rep >= options.warmup) {
-          const double dt = comm.wtime() - t0_local;
-          sender_op.add(dt);
-          sender_hist.add(dt);
+          sender_samples[r].push_back(comm.wtime() - t0_local);
         }
       }
     }
@@ -93,8 +93,12 @@ PointToPointResult run_isend(const Options& options, net::Bytes size) {
   result.nodes = options.cluster.nodes;
   result.procs_per_node = options.procs_per_node;
   result.oneway = stats::Histogram{options.bin_width_us * 1e-6};
-  result.sender_op = sender_op;
-  result.sender_hist = sender_hist;
+  for (const std::vector<double>& samples : sender_samples) {
+    for (const double dt : samples) {
+      result.sender_op.add(dt);
+      result.sender_hist.add(dt);
+    }
+  }
   const int half = nprocs / 2;
   for (int a = 0; a < half; ++a) {
     const int b = a + half;

@@ -123,11 +123,38 @@ struct ClusterParams {
   /// injection must leave every result bit-identical.
   FaultParams fault{};
 
+  /// Conservative-parallel lookahead override (parse_cluster key
+  /// `lookahead_us`); 0 means "derive from the topology", see lookahead().
+  des::SimTime lookahead_override = 0;
+
   [[nodiscard]] int switch_count() const noexcept {
     return (nodes + ports_per_switch - 1) / ports_per_switch;
   }
   [[nodiscard]] int switch_of(int node) const noexcept {
     return node / ports_per_switch;
+  }
+
+  /// Per-switch-boundary lookahead for the conservative parallel engine.
+  /// A frame crossing into a neighbouring partition is resolved when it is
+  /// submitted to the last link its own partition owns (the trunk when
+  /// ascending, the fabric or an earlier trunk when descending), so the
+  /// earliest it can affect the neighbour is one link propagation latency
+  /// plus the store-and-forward switch hop. The safe bound is therefore
+  /// min(fabric, trunk latency) + switch_latency — 7 us for the calibrated
+  /// Perseus numbers, against end-to-end message times of 15 us and up.
+  [[nodiscard]] des::SimTime safe_lookahead() const noexcept {
+    const des::SimTime entry =
+        fabric.latency < trunk.latency ? fabric.latency : trunk.latency;
+    return entry + switch_latency;
+  }
+  [[nodiscard]] des::SimTime lookahead() const noexcept {
+    return lookahead_override > 0 ? lookahead_override : safe_lookahead();
+  }
+  /// Lookahead between two partitions `hops` switch boundaries apart (the
+  /// per-partition-pair bound; validation asserts use it).
+  [[nodiscard]] des::SimTime lookahead_between(int p, int q) const noexcept {
+    const int hops = p < q ? q - p : p - q;
+    return static_cast<des::SimTime>(hops) * lookahead();
   }
 };
 

@@ -93,6 +93,16 @@ ClusterParams parse_cluster(std::istream& is, ClusterParams base) {
       base.trunk.buffer = static_cast<Bytes>(value) * 1024;
     } else if (key == "switch_latency_us") {
       base.switch_latency = des::from_micros(value);
+    } else if (key == "lookahead_us") {
+      // Overrides the derived conservative-window lookahead (see
+      // ClusterParams::lookahead()). Must not exceed the topology's safe
+      // bound — Network's partitioned constructor rejects it if it does.
+      base.lookahead_override = des::from_micros(value);
+      if (base.lookahead_override <= 0) {
+        throw std::runtime_error{"parse_cluster: line " +
+                                 std::to_string(lineno) +
+                                 ": lookahead_us must be positive"};
+      }
     } else if (key == "eager_threshold_kib") {
       base.mpi.eager_threshold = static_cast<Bytes>(value) * 1024;
     } else if (key == "send_overhead_us") {

@@ -1,14 +1,14 @@
 #include "net/link.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace net {
 
-void Link::submit(const Packet& packet, DeliverFn deliver, DropFn drop) {
+Link::Resolved Link::submit_resolved(const Packet& packet) {
   if (backlog_ + packet.wire_bytes > params_.buffer) {
     ++dropped_;
-    if (drop) drop(packet);
-    return;
+    return Resolved{SubmitOutcome::kDropped, engine_.now()};
   }
   backlog_ += packet.wire_bytes;
   peak_backlog_ = std::max(peak_backlog_, backlog_);
@@ -30,17 +30,29 @@ void Link::submit(const Packet& packet, DeliverFn deliver, DropFn drop) {
   // slot and serialisation above) but never arrives.
   if (fault_ && fault_->should_drop(engine_.now())) {
     ++lost_;
-    engine_.schedule_at(busy_until_ + params_.latency,
-                        [packet, drop = std::move(drop)] {
-                          if (drop) drop(packet);
-                        });
-    return;
+    return Resolved{SubmitOutcome::kLost, busy_until_ + params_.latency};
   }
+  return Resolved{SubmitOutcome::kDelivered, busy_until_ + params_.latency};
+}
 
-  engine_.schedule_at(busy_until_ + params_.latency,
-                      [packet, deliver = std::move(deliver)] {
-                        if (deliver) deliver(packet);
-                      });
+void Link::submit(const Packet& packet, DeliverFn deliver, DropFn drop) {
+  const Resolved resolved = submit_resolved(packet);
+  switch (resolved.outcome) {
+    case SubmitOutcome::kDropped:
+      if (drop) drop(packet);  // tail drop: immediate, at the submit instant
+      return;
+    case SubmitOutcome::kLost:
+      engine_.schedule_at(resolved.arrive, [packet, drop = std::move(drop)] {
+        if (drop) drop(packet);
+      });
+      return;
+    case SubmitOutcome::kDelivered:
+      engine_.schedule_at(resolved.arrive,
+                          [packet, deliver = std::move(deliver)] {
+                            if (deliver) deliver(packet);
+                          });
+      return;
+  }
 }
 
 void Link::reset_stats() noexcept {

@@ -26,8 +26,15 @@ class Link {
   using DeliverFn = std::function<void(const Packet&)>;
   using DropFn = std::function<void(const Packet&)>;
 
-  Link(des::Engine& engine, std::string name, LinkParams params)
-      : engine_{engine}, name_{std::move(name)}, params_{params} {}
+  /// `partition` is the index of the logical process that owns this link
+  /// under the conservative parallel engine; every submit must come from
+  /// that partition's execution context. Sequential networks leave it 0.
+  Link(des::Engine& engine, std::string name, LinkParams params,
+       int partition = 0)
+      : engine_{engine},
+        name_{std::move(name)},
+        params_{params},
+        partition_{partition} {}
 
   Link(const Link&) = delete;
   Link& operator=(const Link&) = delete;
@@ -40,6 +47,20 @@ class Link {
   /// in place of `deliver`.
   void submit(const Packet& packet, DeliverFn deliver, DropFn drop);
 
+  enum class SubmitOutcome : std::uint8_t { kDropped, kLost, kDelivered };
+  struct Resolved {
+    SubmitOutcome outcome = SubmitOutcome::kDropped;
+    des::SimTime arrive = 0;  ///< (would-be) arrival; meaningless if dropped
+  };
+
+  /// Boundary-handoff variant of submit(): identical queueing,
+  /// serialisation, fault decision and accounting, but schedules no
+  /// delivery or drop event — the outcome is returned to the caller, who
+  /// owns whatever happens at `arrive`. This is what gives the partitioned
+  /// network its lookahead: the submit instant, not the arrival event, is
+  /// when the far side learns about the frame.
+  [[nodiscard]] Resolved submit_resolved(const Packet& packet);
+
   /// Installs (or clears, with nullptr) the fault injector for this link.
   void install_fault_model(std::unique_ptr<FaultModel> fault) noexcept {
     fault_ = std::move(fault);
@@ -50,6 +71,8 @@ class Link {
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] const LinkParams& params() const noexcept { return params_; }
+  [[nodiscard]] des::Engine& engine() const noexcept { return engine_; }
+  [[nodiscard]] int partition() const noexcept { return partition_; }
 
   /// Wire bytes currently queued or being serialised.
   [[nodiscard]] Bytes backlog() const noexcept { return backlog_; }
@@ -70,6 +93,7 @@ class Link {
   des::Engine& engine_;
   std::string name_;
   LinkParams params_;
+  int partition_ = 0;
 
   std::unique_ptr<FaultModel> fault_;
 

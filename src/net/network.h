@@ -6,7 +6,18 @@
 // computed once per (src, dst) pair and reused as spans into per-pair
 // arrays, and each in-flight packet is tracked by a pool-allocated transit
 // record addressed by index, so the per-hop callbacks capture only
-// (network, index) and fit every small-object buffer on the way down.
+// (network, partition, index) and fit every small-object buffer on the way
+// down.
+//
+// Partitioned mode (the conservative parallel engine): each switch — its
+// node NICs, its forwarding fabric, and the trunk to its upper neighbour —
+// is one logical process owning a des::Engine, a transit pool and a route
+// cache. A frame whose next hop belongs to another partition is resolved at
+// submit time on the last link this partition owns (Link::submit_resolved)
+// and the continuation is posted through the PartitionSet mailbox, arriving
+// at least min-link-latency + switch-latency later — the lookahead
+// (ClusterParams::lookahead()). A one-partition set takes exactly the
+// sequential code path: no boundaries exist, no posts happen.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +29,7 @@
 #include <vector>
 
 #include "des/engine.h"
+#include "des/partitioned_engine.h"
 #include "net/calibration.h"
 #include "net/link.h"
 #include "net/packet.h"
@@ -29,18 +41,32 @@ class Network {
   using DeliverFn = std::function<void(const Packet&)>;
   using DropFn = std::function<void(const Packet&)>;
 
+  /// Sequential network: every link on one engine, one partition.
   Network(des::Engine& engine, ClusterParams params);
+
+  /// Partitioned network over a conservative parallel engine set. The set
+  /// must have either one partition (sequential semantics, any topology) or
+  /// exactly params.switch_count() partitions (switch-partitioned mode).
+  Network(des::PartitionSet& sim, ClusterParams params);
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
   [[nodiscard]] const ClusterParams& params() const noexcept { return params_; }
   [[nodiscard]] int nodes() const noexcept { return params_.nodes; }
+  [[nodiscard]] int partitions() const noexcept {
+    return static_cast<int>(parts_.size());
+  }
+  [[nodiscard]] int partition_of_node(int node) const noexcept {
+    return parts_.size() == 1 ? 0 : params_.switch_of(node);
+  }
 
   /// Sends a packet from packet.src_node to packet.dst_node. `deliver`
   /// fires at arrival at the destination host; `drop` fires (at the drop
   /// instant) if any hop's queue overflows. src == dst is not routed here
-  /// (intra-node traffic uses the SMP channel in the MPI layer).
+  /// (intra-node traffic uses the SMP channel in the MPI layer). In
+  /// partitioned mode the call must come from the source node's partition
+  /// context; `deliver` then runs in the destination node's partition.
   void send(const Packet& packet, DeliverFn deliver, DropFn drop);
 
   /// Number of links a src->dst packet traverses (NICs + trunks). Computed
@@ -52,8 +78,10 @@ class Network {
   [[nodiscard]] std::vector<Link*> route(int src_node, int dst_node) const;
 
   /// Cached route for src -> dst: computed on first use, stable for the
-  /// lifetime of the Network.
-  [[nodiscard]] std::span<Link* const> route_span(int src_node, int dst_node);
+  /// lifetime of the Network. Reads the source partition's cache.
+  [[nodiscard]] std::span<Link* const> route_span(int src_node, int dst_node) {
+    return route_span(partition_of_node(src_node), src_node, dst_node);
+  }
 
   // Link accessors for statistics and tests.
   [[nodiscard]] Link& nic_tx(int node) { return *nic_tx_.at(node); }
@@ -74,8 +102,9 @@ class Network {
  private:
   static constexpr std::uint32_t kNil = UINT32_MAX;
 
-  /// One in-flight packet traversing its route. Pool-allocated and
-  /// addressed by index so per-hop callbacks capture 12 bytes.
+  /// One in-flight packet traversing the hops its current partition owns.
+  /// Pool-allocated and addressed by (partition, index) so per-hop
+  /// callbacks capture 16 bytes.
   struct Transit {
     Packet packet{};
     std::span<Link* const> path{};
@@ -92,37 +121,57 @@ class Network {
     std::uint32_t len = 0;
   };
 
-  [[nodiscard]] std::uint32_t acquire_transit();
-  void release_transit(std::uint32_t index) noexcept;
-  [[nodiscard]] Transit& transit(std::uint32_t index) noexcept {
-    return transits_[index];
+  /// Per-partition forwarding state; each partition touches only its own,
+  /// so the window bodies share nothing but the immutable link graph.
+  /// Held in a deque: the inner deque's move is not noexcept, which would
+  /// push vector growth onto the deleted copy path.
+  struct PartitionLocal {
+    std::vector<CachedRoute> route_cache;  ///< src * nodes + dst
+    std::deque<Transit> transits;  ///< stable addresses while growing
+    std::uint32_t transit_free = kNil;
+  };
+
+  void build_links();
+  [[nodiscard]] des::Engine& engine_for(int part) const {
+    return sim_ ? sim_->engine(part) : *engine0_;
+  }
+
+  [[nodiscard]] std::span<Link* const> route_span(int part, int src_node,
+                                                  int dst_node);
+  [[nodiscard]] std::uint32_t acquire_transit(std::uint32_t part);
+  void release_transit(std::uint32_t part, std::uint32_t index) noexcept;
+  [[nodiscard]] Transit& transit(std::uint32_t part,
+                                 std::uint32_t index) noexcept {
+    return parts_[part].transits[index];
   }
 
   /// Submits the transit's packet to the link at its current hop; the
   /// arrival callback advances the hop (after the store-and-forward switch
-  /// latency) until the final link delivers to the destination host.
-  void forward_hop(std::uint32_t index);
+  /// latency) until the final link delivers to the destination host, or a
+  /// partition boundary hands the continuation to the neighbour.
+  void forward_hop(std::uint32_t part, std::uint32_t index);
+  /// Re-enters a packet in partition `part` at `hop` of its route after a
+  /// cross-partition handoff (runs in `part`'s context).
+  void resume_transit(std::uint32_t part, std::uint32_t hop,
+                      const Packet& packet, DeliverFn deliver, DropFn drop);
 
   void check_route_args(int src_node, int dst_node) const;
 
-  des::Engine& engine_;
+  des::PartitionSet* sim_ = nullptr;   ///< null in sequential mode
+  des::Engine* engine0_ = nullptr;     ///< the sole engine, sequential mode
   ClusterParams params_;
   std::vector<std::unique_ptr<Link>> nic_tx_;
   std::vector<std::unique_ptr<Link>> nic_rx_;
   /// One shared forwarding fabric per switch; every frame entering the
   /// switch crosses it once.
   std::vector<std::unique_ptr<Link>> fabric_;
-  /// trunk_[s] joins switch s and s+1. The 510T stacking matrix behaves as
-  /// a shared bus: both directions contend for the same 2.1 Gbit/s, which
-  /// is what makes the paper's 24 x 84.25 Mbit/s = 2.02 Gbit/s offered load
-  /// saturate it.
+  /// trunk_[s] joins switch s and s+1, owned by partition s (both
+  /// directions: the 510T stacking matrix behaves as a shared bus — both
+  /// directions contend for the same 2.1 Gbit/s, which is what makes the
+  /// paper's 24 x 84.25 Mbit/s = 2.02 Gbit/s offered load saturate it).
   std::vector<std::unique_ptr<Link>> trunk_;
 
-  /// Route cache indexed by src * nodes + dst.
-  std::vector<CachedRoute> route_cache_;
-  /// Transit pool; deque keeps records at stable addresses while growing.
-  std::deque<Transit> transits_;
-  std::uint32_t transit_free_ = kNil;
+  std::deque<PartitionLocal> parts_;
 };
 
 }  // namespace net

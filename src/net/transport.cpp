@@ -8,15 +8,31 @@
 namespace net {
 
 Transport::Transport(des::Engine& engine, Network& network)
-    : engine_{engine},
+    : engine0_{&engine},
       network_{network},
       tcp_{network.params().tcp},
-      wire_{network.params().wire} {}
+      wire_{network.params().wire},
+      lookahead_{network.params().lookahead()} {
+  shards_.resize(1);
+}
 
-Transport::Connection& Transport::connection(std::uint64_t stream, int src,
-                                             int dst) {
-  auto [it, inserted] = connections_.try_emplace(stream);
-  Connection& conn = it->second;
+Transport::Transport(des::PartitionSet& sim, Network& network)
+    : sim_{&sim},
+      network_{network},
+      tcp_{network.params().tcp},
+      wire_{network.params().wire},
+      lookahead_{sim.lookahead()} {
+  if (network.partitions() != sim.partitions()) {
+    throw std::invalid_argument{
+        "Transport: network was built over a different partition set"};
+  }
+  shards_.resize(static_cast<std::size_t>(sim.partitions()));
+}
+
+Transport::Sender& Transport::sender(std::uint64_t stream, int src, int dst) {
+  Shard& shard = shards_[static_cast<std::size_t>(partition_of(src))];
+  auto [it, inserted] = shard.senders.try_emplace(stream);
+  Sender& conn = it->second;
   if (inserted) {
     conn.id = stream;
     conn.src = src;
@@ -24,9 +40,62 @@ Transport::Connection& Transport::connection(std::uint64_t stream, int src,
     conn.cwnd = static_cast<double>(tcp_.initial_cwnd);
     conn.rto = tcp_.rto_initial;
   } else if (conn.src != src || conn.dst != dst) {
-    throw std::invalid_argument{"Transport::send: stream rebound to new endpoints"};
+    throw std::invalid_argument{
+        "Transport::send: stream rebound to new endpoints"};
   }
   return conn;
+}
+
+Transport::Sender& Transport::sender_of(const Packet& ack_packet) {
+  // An ACK flows dst -> src, so its destination node is the sender's host.
+  Shard& shard =
+      shards_[static_cast<std::size_t>(partition_of(ack_packet.dst_node))];
+  const auto it = shard.senders.find(ack_packet.conn);
+  if (it == shard.senders.end()) {
+    throw std::logic_error{"Transport: ACK for unknown stream"};
+  }
+  return it->second;
+}
+
+Transport::Receiver& Transport::receiver_of(const Packet& data_packet) {
+  Shard& shard =
+      shards_[static_cast<std::size_t>(partition_of(data_packet.dst_node))];
+  auto [it, inserted] = shard.receivers.try_emplace(data_packet.conn);
+  Receiver& conn = it->second;
+  if (inserted) {
+    conn.id = data_packet.conn;
+    conn.src = data_packet.src_node;
+    conn.dst = data_packet.dst_node;
+  }
+  return conn;
+}
+
+void Transport::register_message(std::uint64_t stream, int src, int dst,
+                                 std::uint64_t end, DeliveredFn cb) {
+  Shard& shard = shards_[static_cast<std::size_t>(partition_of(dst))];
+  auto [it, inserted] = shard.receivers.try_emplace(stream);
+  Receiver& conn = it->second;
+  if (inserted) {
+    conn.id = stream;
+    conn.src = src;
+    conn.dst = dst;
+  }
+  conn.pending.emplace_back(end, std::move(cb));
+  // Registration always precedes the message's own data (it travels one
+  // lookahead ahead of an end-to-end path that is strictly longer), so this
+  // drain only matters for messages whose predecessors already advanced
+  // rcv_nxt past this end — which cannot happen either; it is a guard, not
+  // a code path.
+  while (!conn.pending.empty() && conn.pending.front().first <= conn.rcv_nxt) {
+    DeliveredFn ready = std::move(conn.pending.front().second);
+    conn.pending.pop_front();
+    ++shard.messages_delivered;
+    if (ready) ready();
+  }
+}
+
+std::uint64_t Transport::next_packet_id(int part) noexcept {
+  return shards_[static_cast<std::size_t>(part)].next_packet_id++;
 }
 
 void Transport::send(std::uint64_t stream, int src_node, int dst_node,
@@ -37,19 +106,35 @@ void Transport::send(std::uint64_t stream, int src_node, int dst_node,
   if (src_node == dst_node) {
     throw std::invalid_argument{"Transport::send: src == dst"};
   }
-  Connection& conn = connection(stream, src_node, dst_node);
+  Sender& conn = sender(stream, src_node, dst_node);
   conn.stream_end += bytes;
-  conn.pending.emplace_back(conn.stream_end, std::move(on_delivered));
+  const int sp = partition_of(src_node);
+  const int dp = partition_of(dst_node);
+  if (sp == dp) {
+    register_message(stream, src_node, dst_node, conn.stream_end,
+                     std::move(on_delivered));
+  } else {
+    // The receiver half lives in the destination partition: ship the
+    // (end offset, callback) pair through the mailbox one lookahead out.
+    // It beats the first data byte — see the class comment.
+    const std::uint64_t end = conn.stream_end;
+    sim_->post(sp, dp, engine_of(src_node).now() + lookahead_,
+               [this, stream, src_node, dst_node, end,
+                cb = std::move(on_delivered)]() mutable {
+                 register_message(stream, src_node, dst_node, end,
+                                  std::move(cb));
+               });
+  }
   pump(conn);
 }
 
-Bytes Transport::window_bytes(const Connection& conn) const noexcept {
+Bytes Transport::window_bytes(const Sender& conn) const noexcept {
   const Bytes cwnd_bytes =
       static_cast<Bytes>(conn.cwnd * static_cast<double>(wire_.mss()));
   return std::min(cwnd_bytes, tcp_.recv_window);
 }
 
-void Transport::pump(Connection& conn) {
+void Transport::pump(Sender& conn) {
   while (conn.snd_nxt < conn.stream_end) {
     const Bytes in_flight = conn.snd_nxt - conn.snd_una;
     const Bytes window = window_bytes(conn);
@@ -63,10 +148,10 @@ void Transport::pump(Connection& conn) {
   if (conn.snd_una < conn.snd_nxt && !conn.rto_timer.valid()) arm_rto(conn);
 }
 
-void Transport::transmit_segment(Connection& conn, std::uint64_t seq,
-                                 Bytes len) {
+void Transport::transmit_segment(Sender& conn, std::uint64_t seq, Bytes len) {
+  const int part = partition_of(conn.src);
   Packet packet;
-  packet.id = next_packet_id_++;
+  packet.id = next_packet_id(part);
   packet.kind = PacketKind::kData;
   packet.src_node = conn.src;
   packet.dst_node = conn.dst;
@@ -74,15 +159,18 @@ void Transport::transmit_segment(Connection& conn, std::uint64_t seq,
   packet.seq = seq;
   packet.payload = len;
   packet.wire_bytes = wire_.segment_wire_bytes(len);
-  ++segments_sent_;
+  ++shards_[static_cast<std::size_t>(part)].segments_sent;
+  // The delivery callback runs in the destination partition; it captures
+  // no sender state — the packet's conn field resolves the receiver half
+  // there.
   network_.send(
-      packet, [this, &conn](const Packet& arrived) { on_data(conn, arrived); },
+      packet, [this](const Packet& arrived) { on_data(arrived); },
       /*drop=*/nullptr);  // loss is detected via ACKs / the RTO timer
 }
 
-void Transport::send_ack(Connection& conn) {
+void Transport::send_ack(Receiver& conn) {
   Packet packet;
-  packet.id = next_packet_id_++;
+  packet.id = next_packet_id(partition_of(conn.dst));
   packet.kind = PacketKind::kAck;
   packet.src_node = conn.dst;  // ACKs flow dst -> src
   packet.dst_node = conn.src;
@@ -91,11 +179,14 @@ void Transport::send_ack(Connection& conn) {
   packet.payload = 0;
   packet.wire_bytes = wire_.ack_wire_bytes();
   network_.send(
-      packet, [this, &conn](const Packet& arrived) { on_ack(conn, arrived); },
+      packet, [this](const Packet& arrived) { on_ack(arrived); },
       /*drop=*/nullptr);  // a lost ACK is covered by later cumulative ACKs
 }
 
-void Transport::on_data(Connection& conn, const Packet& packet) {
+void Transport::on_data(const Packet& packet) {
+  Receiver& conn = receiver_of(packet);
+  Shard& shard =
+      shards_[static_cast<std::size_t>(partition_of(packet.dst_node))];
   const std::uint64_t seg_end = packet.seq + packet.payload;
   if (seg_end <= conn.rcv_nxt) {
     // Duplicate of already-received data (e.g. a spurious retransmit):
@@ -119,12 +210,15 @@ void Transport::on_data(Connection& conn, const Packet& packet) {
   while (!conn.pending.empty() && conn.pending.front().first <= conn.rcv_nxt) {
     DeliveredFn cb = std::move(conn.pending.front().second);
     conn.pending.pop_front();
-    ++messages_delivered_;
+    ++shard.messages_delivered;
     if (cb) cb();
   }
 }
 
-void Transport::on_ack(Connection& conn, const Packet& packet) {
+void Transport::on_ack(const Packet& packet) {
+  Sender& conn = sender_of(packet);
+  Shard& shard =
+      shards_[static_cast<std::size_t>(partition_of(packet.dst_node))];
   const std::uint64_t ackno = packet.seq;
   if (ackno > conn.snd_una) {
     conn.snd_una = ackno;
@@ -136,9 +230,9 @@ void Transport::on_ack(Connection& conn, const Packet& packet) {
       // rather than stalling until the RTO fires.
       const Bytes len = std::min(static_cast<Bytes>(wire_.mss()),
                                  conn.snd_nxt - conn.snd_una);
-      ++retransmits_;
-      trace_event(conn, "partial_ack_retransmit seq=" +
-                            std::to_string(conn.snd_una));
+      ++shard.retransmits;
+      trace_event(conn,
+                  "partial_ack_retransmit seq=" + std::to_string(conn.snd_una));
       transmit_segment(conn, conn.snd_una, len);
     }
     if (!conn.in_recovery) {
@@ -166,20 +260,23 @@ void Transport::on_ack(Connection& conn, const Packet& packet) {
       conn.recover_end = conn.snd_nxt;
       const Bytes len = std::min(static_cast<Bytes>(wire_.mss()),
                                  conn.snd_nxt - conn.snd_una);
-      ++retransmits_;
-      ++fast_retransmits_;
-      trace_event(conn,
-                  "fast_retransmit seq=" + std::to_string(conn.snd_una));
+      ++shard.retransmits;
+      ++shard.fast_retransmits;
+      trace_event(conn, "fast_retransmit seq=" + std::to_string(conn.snd_una));
       transmit_segment(conn, conn.snd_una, len);
     }
   }
 }
 
-void Transport::on_rto(Connection& conn) {
+void Transport::on_rto(std::uint64_t stream, int src_node) {
+  Shard& shard = shards_[static_cast<std::size_t>(partition_of(src_node))];
+  const auto it = shard.senders.find(stream);
+  if (it == shard.senders.end()) return;
+  Sender& conn = it->second;
   conn.rto_timer = {};
   if (conn.snd_una >= conn.snd_nxt) return;  // everything got acknowledged
-  ++timeouts_;
-  ++retransmits_;
+  ++shard.timeouts;
+  ++shard.retransmits;
   const double flight = static_cast<double>(conn.snd_nxt - conn.snd_una) /
                         static_cast<double>(wire_.mss());
   conn.ssthresh = std::max(flight / 2.0, 2.0);
@@ -190,37 +287,70 @@ void Transport::on_rto(Connection& conn) {
   trace_event(conn, "rto_retransmit seq=" + std::to_string(conn.snd_una) +
                         " next_rto_ms=" +
                         std::to_string(des::to_millis(conn.rto)));
-  const Bytes len = std::min(static_cast<Bytes>(wire_.mss()),
-                             conn.snd_nxt - conn.snd_una);
+  const Bytes len =
+      std::min(static_cast<Bytes>(wire_.mss()), conn.snd_nxt - conn.snd_una);
   transmit_segment(conn, conn.snd_una, len);
   arm_rto(conn);
 }
 
-void Transport::trace_event(const Connection& conn, std::string detail) {
+void Transport::trace_event(const Sender& conn, std::string detail) {
   if (tracer_ == nullptr || !tracer_->enabled()) return;
-  tracer_->record(engine_.now(), trace::Category::kTransport,
+  tracer_->record(engine_of(conn.src).now(), trace::Category::kTransport,
                   static_cast<std::int64_t>(conn.id), std::move(detail));
 }
 
-void Transport::arm_rto(Connection& conn) {
+void Transport::arm_rto(Sender& conn) {
   disarm_rto(conn);
-  conn.rto_timer = engine_.schedule_in(
-      std::max(conn.rto, tcp_.rto_min), [this, &conn] { on_rto(conn); });
+  conn.rto_timer = engine_of(conn.src).schedule_in(
+      std::max(conn.rto, tcp_.rto_min),
+      [this, stream = conn.id, src = conn.src] { on_rto(stream, src); });
 }
 
-void Transport::disarm_rto(Connection& conn) {
+void Transport::disarm_rto(Sender& conn) {
   if (conn.rto_timer.valid()) {
-    engine_.cancel(conn.rto_timer);
+    engine_of(conn.src).cancel(conn.rto_timer);
     conn.rto_timer = {};
   }
 }
 
+std::uint64_t Transport::segments_sent() const noexcept {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) total += shard.segments_sent;
+  return total;
+}
+
+std::uint64_t Transport::retransmits() const noexcept {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) total += shard.retransmits;
+  return total;
+}
+
+std::uint64_t Transport::fast_retransmits() const noexcept {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) total += shard.fast_retransmits;
+  return total;
+}
+
+std::uint64_t Transport::timeouts() const noexcept {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) total += shard.timeouts;
+  return total;
+}
+
+std::uint64_t Transport::messages_delivered() const noexcept {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) total += shard.messages_delivered;
+  return total;
+}
+
 void Transport::reset_stats() noexcept {
-  segments_sent_ = 0;
-  retransmits_ = 0;
-  fast_retransmits_ = 0;
-  timeouts_ = 0;
-  messages_delivered_ = 0;
+  for (Shard& shard : shards_) {
+    shard.segments_sent = 0;
+    shard.retransmits = 0;
+    shard.fast_retransmits = 0;
+    shard.timeouts = 0;
+    shard.messages_delivered = 0;
+  }
 }
 
 }  // namespace net

@@ -12,6 +12,17 @@
 //
 // Messages are byte counts; delivery callbacks fire when the last stream
 // byte of a message arrives in order at the destination host.
+//
+// Partitioned mode: a connection's sender half (sequence numbers,
+// congestion state, the RTO timer) is pinned to the source node's
+// partition and its receiver half (reassembly, pending deliveries) to the
+// destination node's, matching where the network delivers data and ACK
+// packets. The only sender-to-receiver control transfer outside the packet
+// path — registering a message's end offset and delivery callback — rides
+// the PartitionSet mailbox one lookahead ahead, which always beats the
+// first data byte (end-to-end is at least two NIC latencies plus a switch
+// hop). With one partition both halves live in shard 0 and every path is
+// the sequential one.
 #pragma once
 
 #include <cstdint>
@@ -19,8 +30,10 @@
 #include <functional>
 #include <map>
 #include <utility>
+#include <vector>
 
 #include "des/engine.h"
+#include "des/partitioned_engine.h"
 #include "net/network.h"
 #include "trace/trace.h"
 
@@ -30,7 +43,10 @@ class Transport {
  public:
   using DeliveredFn = std::function<void()>;
 
+  /// Sequential transport on a single engine.
   Transport(des::Engine& engine, Network& network);
+  /// Partitioned transport; `network` must be built over the same set.
+  Transport(des::PartitionSet& sim, Network& network);
 
   Transport(const Transport&) = delete;
   Transport& operator=(const Transport&) = delete;
@@ -40,37 +56,36 @@ class Transport {
   /// backed-off interval, fast retransmits, NewReno partial-ACK resends —
   /// is recorded under Category::kTransport with the connection id as
   /// subject, so retransmission forensics can be replayed offline.
+  /// (Tracer::record is internally synchronised, so partitions may record
+  /// concurrently.)
   void set_tracer(trace::Tracer* tracer) noexcept { tracer_ = tracer; }
 
   /// Queues `bytes` (> 0) on stream `stream` from src to dst. A stream is
   /// one TCP-lite connection; MPICH 1.2 (ch_p4) opened one socket per
   /// process pair, so the MPI layer passes a per-rank-pair stream id. All
   /// streams between two nodes still contend for the same NIC and trunk
-  /// links. `on_delivered` runs, in engine context, when the final byte
-  /// arrives in order at `dst_node`. Messages on one stream are delivered
-  /// in submission order. A stream's (src, dst) binding must not change.
+  /// links. `on_delivered` runs, in engine context (the destination
+  /// partition's, when partitioned), when the final byte arrives in order
+  /// at `dst_node`. Messages on one stream are delivered in submission
+  /// order. A stream's (src, dst) binding must not change. In partitioned
+  /// mode the call must come from the source node's partition context.
   void send(std::uint64_t stream, int src_node, int dst_node, Bytes bytes,
             DeliveredFn on_delivered);
 
-  // Lifetime statistics.
-  [[nodiscard]] std::uint64_t segments_sent() const noexcept { return segments_sent_; }
-  [[nodiscard]] std::uint64_t retransmits() const noexcept { return retransmits_; }
-  [[nodiscard]] std::uint64_t fast_retransmits() const noexcept {
-    return fast_retransmits_;
-  }
-  [[nodiscard]] std::uint64_t timeouts() const noexcept { return timeouts_; }
-  [[nodiscard]] std::uint64_t messages_delivered() const noexcept {
-    return messages_delivered_;
-  }
+  // Lifetime statistics (summed over partitions; read when quiescent).
+  [[nodiscard]] std::uint64_t segments_sent() const noexcept;
+  [[nodiscard]] std::uint64_t retransmits() const noexcept;
+  [[nodiscard]] std::uint64_t fast_retransmits() const noexcept;
+  [[nodiscard]] std::uint64_t timeouts() const noexcept;
+  [[nodiscard]] std::uint64_t messages_delivered() const noexcept;
   void reset_stats() noexcept;
 
  private:
-  struct Connection {
+  /// Sender half of a connection, owned by the source node's partition.
+  struct Sender {
     std::uint64_t id = 0;
     int src = 0;
     int dst = 0;
-
-    // Sender state (byte sequence numbers).
     std::uint64_t snd_una = 0;    ///< oldest unacknowledged byte
     std::uint64_t snd_nxt = 0;    ///< next byte to transmit
     std::uint64_t stream_end = 0; ///< total bytes submitted
@@ -81,39 +96,66 @@ class Transport {
     std::uint64_t recover_end = 0;
     des::SimTime rto = 0;
     des::Engine::EventId rto_timer{};
-    std::deque<std::pair<std::uint64_t, DeliveredFn>> pending;  ///< (end, cb)
-
-    // Receiver state.
-    std::uint64_t rcv_nxt = 0;
-    std::map<std::uint64_t, Bytes> out_of_order;  ///< start -> length
   };
 
-  Connection& connection(std::uint64_t stream, int src, int dst);
-  void pump(Connection& conn);
-  void transmit_segment(Connection& conn, std::uint64_t seq, Bytes len);
-  void send_ack(Connection& conn);
-  void on_data(Connection& conn, const Packet& packet);
-  void on_ack(Connection& conn, const Packet& packet);
-  void on_rto(Connection& conn);
-  void arm_rto(Connection& conn);
-  void disarm_rto(Connection& conn);
-  [[nodiscard]] Bytes window_bytes(const Connection& conn) const noexcept;
-  void trace_event(const Connection& conn, std::string detail);
+  /// Receiver half, owned by the destination node's partition.
+  struct Receiver {
+    std::uint64_t id = 0;
+    int src = 0;
+    int dst = 0;
+    std::uint64_t rcv_nxt = 0;
+    std::map<std::uint64_t, Bytes> out_of_order;  ///< start -> length
+    std::deque<std::pair<std::uint64_t, DeliveredFn>> pending;  ///< (end, cb)
+  };
 
-  des::Engine& engine_;
+  /// Per-partition transport state; every field is touched only from its
+  /// partition's execution context.
+  struct Shard {
+    std::map<std::uint64_t, Sender> senders;
+    std::map<std::uint64_t, Receiver> receivers;
+    std::uint64_t next_packet_id = 1;
+    std::uint64_t segments_sent = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t fast_retransmits = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t messages_delivered = 0;
+  };
+
+  [[nodiscard]] int partition_of(int node) const noexcept {
+    return network_.partition_of_node(node);
+  }
+  [[nodiscard]] des::Engine& engine_of(int node) const {
+    return sim_ ? sim_->engine(partition_of(node)) : *engine0_;
+  }
+  [[nodiscard]] Sender& sender(std::uint64_t stream, int src, int dst);
+  [[nodiscard]] Sender& sender_of(const Packet& ack_packet);
+  [[nodiscard]] Receiver& receiver_of(const Packet& data_packet);
+  /// Creates/locates the receiver half and appends one pending message.
+  /// Runs in the destination partition's context.
+  void register_message(std::uint64_t stream, int src, int dst,
+                        std::uint64_t end, DeliveredFn cb);
+  [[nodiscard]] std::uint64_t next_packet_id(int part) noexcept;
+
+  void pump(Sender& conn);
+  void transmit_segment(Sender& conn, std::uint64_t seq, Bytes len);
+  void send_ack(Receiver& conn);
+  void on_data(const Packet& packet);
+  void on_ack(const Packet& packet);
+  void on_rto(std::uint64_t stream, int src_node);
+  void arm_rto(Sender& conn);
+  void disarm_rto(Sender& conn);
+  [[nodiscard]] Bytes window_bytes(const Sender& conn) const noexcept;
+  void trace_event(const Sender& conn, std::string detail);
+
+  des::PartitionSet* sim_ = nullptr;  ///< null in sequential mode
+  des::Engine* engine0_ = nullptr;    ///< the sole engine, sequential mode
   Network& network_;
   const TcpParams tcp_;
   const WireFormat wire_;
+  const des::SimTime lookahead_;
   trace::Tracer* tracer_ = nullptr;
 
-  std::map<std::uint64_t, Connection> connections_;
-  std::uint64_t next_packet_id_ = 1;
-
-  std::uint64_t segments_sent_ = 0;
-  std::uint64_t retransmits_ = 0;
-  std::uint64_t fast_retransmits_ = 0;
-  std::uint64_t timeouts_ = 0;
-  std::uint64_t messages_delivered_ = 0;
+  std::vector<Shard> shards_;
 };
 
 }  // namespace net

@@ -109,6 +109,26 @@ TEST(ReproLint, HotPathFenceCatchesAllocationAndLocks) {
       << result.output;
 }
 
+TEST(ReproLint, MailboxDrainFenceFlagsBlockingNotOverflowPath) {
+  // The conservative-parallel engine fences its window dispatch and
+  // mailbox drain (src/des/partitioned_engine.cpp); this fixture mirrors
+  // that shape. Blocking primitives and allocation inside the drain are
+  // findings; the lock-and-grow overflow slow path after the fence is the
+  // documented design and must stay quiet.
+  const RunResult result = run_lint("--json " + fixture("hot_mailbox.cpp"));
+  EXPECT_EQ(result.exit_code, 3);
+  const Json doc = Json::parse(result.output);
+  EXPECT_EQ(count_findings(doc, "hot-path", "hot_mailbox.cpp", 19), 2)
+      << "unique_lock + mutex template arg";
+  EXPECT_EQ(count_findings(doc, "hot-path", "hot_mailbox.cpp", 20), 1)
+      << "new";
+  EXPECT_EQ(count_findings(doc, "hot-path", "hot_mailbox.cpp", 21), 1)
+      << "condition_variable";
+  EXPECT_EQ(count_findings(doc, "hot-path", "hot_mailbox.cpp", 27), 1)
+      << "delete";
+  EXPECT_EQ(doc.find("findings")->as_array().size(), 5u) << result.output;
+}
+
 TEST(ReproLint, UnannotatedMutexNeedsCodePartnerNotComment) {
   const RunResult result =
       run_lint("--json " + fixture("unannotated_mutex.h"));

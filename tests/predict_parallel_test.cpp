@@ -11,6 +11,7 @@
 #include "core/parallel.h"
 #include "core/parse.h"
 #include "core/predict.h"
+#include "core/sampler.h"
 #include "mpibench/table.h"
 #include "stats/empirical.h"
 #include "stats/rng.h"
@@ -146,6 +147,51 @@ TEST(PredictParallel, AutoThreadsMatchesSerialResult) {
   const auto parallel = pevpm::predict(model, 4, {}, table, opts);
   EXPECT_EQ(parallel.makespan.mean(), serial.makespan.mean());
   EXPECT_EQ(parallel.makespan.stddev(), serial.makespan.stddev());
+}
+
+// Regression for the DeliverySampler last-cell memo: it used to be a plain
+// uint32_t, so two warm readers racing through cell() tripped TSan (and
+// could, in principle, publish a torn index). The memo is now atomic and
+// key-validated; this test exercises the documented concurrent-read
+// contract — warm sampler, deterministic kAverage mode, many threads
+// alternating keys so the memo thrashes — and must run clean under TSan.
+TEST(SamplerConcurrency, WarmAverageModeReadersShareTheMemo) {
+  mpibench::DistributionTable table;
+  const std::vector<net::Bytes> sizes{64, 1024, 65536};
+  for (const net::Bytes bytes : sizes) {
+    table.insert(mpibench::OpKind::kPtpOneWay, bytes, 2,
+                 stats::EmpiricalDistribution::constant(
+                     1e-6 * static_cast<double>(bytes + 1)));
+  }
+  pevpm::SamplerOptions options;
+  options.mode = pevpm::PredictionMode::kAverage;
+  options.contention = pevpm::ContentionSource::kFixed;
+  options.fixed_contention = 2;
+  pevpm::DeliverySampler sampler{table, options, 1};
+
+  // Warm every key single-threaded: after this, kAverage draws touch no
+  // state but the atomic memo.
+  std::vector<double> expected;
+  for (const net::Bytes bytes : sizes) {
+    expected.push_back(sampler.delivery_seconds(bytes, 0));
+  }
+
+  std::atomic<int> mismatches{0};
+  pevpm::ThreadPool pool{8};
+  for (int worker = 0; worker < 8; ++worker) {
+    pool.submit([&sampler, &sizes, &expected, &mismatches, worker] {
+      // Each worker starts on a different key so the shared memo is
+      // overwritten constantly from several threads at once.
+      for (int i = 0; i < 5000; ++i) {
+        const std::size_t k = (static_cast<std::size_t>(worker) + i) % 3;
+        if (sampler.delivery_seconds(sizes[k], 0) != expected[k]) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  pool.wait();
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 TEST(PredictParallel, DeadlockDetectedAcrossWorkers) {

@@ -1,0 +1,129 @@
+// Thread-count determinism of the conservative parallel simulator: with
+// --sim-threads N the cluster is partitioned by switch and simulated by N
+// worker threads, and every table MPIBench emits must be byte-identical to
+// the sequential engine's (sim_threads = 0) — including under fault
+// injection and for collectives. These tests encode in the suite what the
+// CLI diffs demonstrate, on a multi-switch topology so cross-partition
+// traffic (trunk hops, mailbox exchange) is actually exercised.
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mpibench/benchmark.h"
+#include "net/cluster.h"
+
+namespace {
+
+/// 12 nodes on 4-port switches -> 3 switches, so partitioned runs use
+/// three logical processes and every pair in the Isend pattern
+/// (i <-> i + P/2) crosses at least one trunk.
+mpibench::Options multi_switch_options() {
+  mpibench::Options opt;
+  opt.cluster = net::perseus(12);
+  opt.cluster.ports_per_switch = 4;
+  opt.procs_per_node = 1;
+  opt.repetitions = 25;
+  opt.warmup = 8;
+  opt.seed = 97;
+  return opt;
+}
+
+void expect_identical(const mpibench::PointToPointResult& a,
+                      const mpibench::PointToPointResult& b) {
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.oneway.to_csv(), b.oneway.to_csv());
+  EXPECT_EQ(a.sender_hist.to_csv(), b.sender_hist.to_csv());
+  EXPECT_EQ(a.sender_op.count(), b.sender_op.count());
+  EXPECT_EQ(a.sender_op.mean(), b.sender_op.mean());
+  EXPECT_EQ(a.tcp_timeouts, b.tcp_timeouts);
+  EXPECT_EQ(a.tcp_retransmits, b.tcp_retransmits);
+  EXPECT_EQ(a.tcp_fast_retransmits, b.tcp_fast_retransmits);
+  EXPECT_EQ(a.link_drops, b.link_drops);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+}
+
+TEST(SimThreads, IsendIsBitIdenticalAtEveryThreadCount) {
+  mpibench::Options opt = multi_switch_options();
+  ASSERT_EQ(opt.cluster.switch_count(), 3);
+  for (const net::Bytes size : {net::Bytes{256}, net::Bytes{16384}}) {
+    SCOPED_TRACE("size " + std::to_string(size));
+    opt.sim_threads = 0;
+    const auto sequential = mpibench::run_isend(opt, size);
+    ASSERT_GT(sequential.messages, 0u);
+    // 1 thread isolates partitioning from parallelism; 2 and 4 exercise
+    // both fewer and more workers than partitions (4 > 3 leaves one idle).
+    for (const int threads : {1, 2, 4}) {
+      SCOPED_TRACE("sim_threads " + std::to_string(threads));
+      opt.sim_threads = threads;
+      expect_identical(mpibench::run_isend(opt, size), sequential);
+    }
+  }
+}
+
+TEST(SimThreads, FaultInjectionStaysDeterministic) {
+  // Loss forces retransmissions and RTO timers — the paths where an
+  // execution-order-dependent engine would diverge first. The fault seeder
+  // runs in construction order, which is identical across partition counts.
+  mpibench::Options opt = multi_switch_options();
+  opt.cluster.fault.loss_rate = 0.02;
+  opt.cluster.fault.seed = opt.seed;
+  opt.sim_threads = 0;
+  const auto sequential = mpibench::run_isend(opt, 8192);
+  ASSERT_GT(sequential.faults_injected, 0u) << "fault path not exercised";
+  for (const int threads : {1, 3}) {
+    SCOPED_TRACE("sim_threads " + std::to_string(threads));
+    opt.sim_threads = threads;
+    expect_identical(mpibench::run_isend(opt, 8192), sequential);
+  }
+}
+
+TEST(SimThreads, AlltoallIsBitIdentical) {
+  // All-to-all saturates every trunk in both directions at once — the
+  // densest cross-partition traffic any benchmark generates.
+  mpibench::Options opt = multi_switch_options();
+  opt.repetitions = 10;
+  opt.warmup = 2;
+  opt.sim_threads = 0;
+  const auto sequential = mpibench::run_alltoall(opt, 1024);
+  ASSERT_GT(sequential.operations, 0u);
+  opt.sim_threads = 3;
+  const auto partitioned = mpibench::run_alltoall(opt, 1024);
+  EXPECT_EQ(partitioned.operations, sequential.operations);
+  EXPECT_EQ(partitioned.completion.to_csv(), sequential.completion.to_csv());
+  EXPECT_EQ(partitioned.tcp_retransmits, sequential.tcp_retransmits);
+  EXPECT_EQ(partitioned.tcp_timeouts, sequential.tcp_timeouts);
+}
+
+TEST(SimThreads, TableAssemblyComposesWithJobFanOut) {
+  // sim_threads (parallelism inside one simulation) and jobs (parallelism
+  // across independent sweep cells) are orthogonal; combined they must
+  // still reproduce the sequential single-job table byte for byte.
+  mpibench::Options opt = multi_switch_options();
+  const std::vector<net::Bytes> sizes{512, 4096};
+  const std::vector<mpibench::Config> configs{{12, 1}};
+  opt.sim_threads = 0;
+  const auto reference = mpibench::measure_isend_table(opt, sizes, configs, 1);
+  opt.sim_threads = 3;
+  const auto combined = mpibench::measure_isend_table(opt, sizes, configs, 2);
+  std::ostringstream want;
+  std::ostringstream got;
+  reference.save(want);
+  combined.save(got);
+  EXPECT_EQ(got.str(), want.str());
+}
+
+TEST(SimThreads, SmpAndMultiRankNodesStayDeterministic) {
+  // Two ranks per node shares NIC links within a partition and keeps the
+  // SMP fast path (same-node sends never cross a partition boundary).
+  mpibench::Options opt = multi_switch_options();
+  opt.procs_per_node = 2;
+  opt.repetitions = 15;
+  opt.sim_threads = 0;
+  const auto sequential = mpibench::run_isend(opt, 2048);
+  ASSERT_GT(sequential.messages, 0u);
+  opt.sim_threads = 2;
+  expect_identical(mpibench::run_isend(opt, 2048), sequential);
+}
+
+}  // namespace

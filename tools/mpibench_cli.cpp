@@ -19,6 +19,10 @@
 //     --histograms       print full per-size histograms
 //     --cluster FILE     cluster description overrides ("key = value")
 //     --seed S
+//     --sim-threads T    run each simulator instance on T threads with the
+//                        switch-partitioned conservative parallel engine;
+//                        0 = sequential engine. Output is byte-identical
+//                        for every T (default 0)
 //
 //   Fault injection (see src/net/fault.h). With any of these the summary
 //   grows tail quantiles (p99.9) and retransmission/fault counters:
@@ -69,6 +73,7 @@ struct Args {
   std::string cluster_file;
   bool histograms = false;
   std::uint64_t seed = 1;
+  int sim_threads = 0;
 
   double loss_rate = -1.0;  ///< < 0 means "not set"
   std::vector<std::string> fault_profiles;
@@ -93,7 +98,7 @@ std::vector<net::Bytes> parse_sizes(const std::string& list) {
                "          [--op isend|barrier|bcast|alltoall] [--jobs J]\n"
                "          [--bin-us W]\n"
                "          [--table FILE] [--histograms] [--cluster FILE]\n"
-               "          [--seed S]\n"
+               "          [--seed S] [--sim-threads T]\n"
                "          [--loss-rate P] [--fault-profile burst:E,X,L]\n"
                "          [--fault-profile down:START_MS,END_MS]\n"
                "          [--fault-seed S] [--rto-ms R]\n"
@@ -132,6 +137,9 @@ Args parse_args(int argc, char** argv) {
       args.histograms = true;
     } else if (flag == "--seed") {
       args.seed = std::stoull(value());
+    } else if (flag == "--sim-threads") {
+      args.sim_threads = std::stoi(value());
+      if (args.sim_threads < 0) usage(argv[0]);
     } else if (flag == "--loss-rate") {
       args.loss_rate = std::stod(value());
     } else if (flag == "--fault-profile") {
@@ -205,6 +213,7 @@ int main(int argc, char** argv) {
   opt.warmup = std::max(8, args.reps / 10);
   opt.bin_width_us = args.bin_us;
   opt.seed = args.seed;
+  opt.sim_threads = args.sim_threads;
 
   if (args.loss_rate >= 0.0) opt.cluster.fault.loss_rate = args.loss_rate;
   for (const std::string& spec : args.fault_profiles) {
