@@ -1,0 +1,268 @@
+// tabe_fit_error — scaling-model fit and extrapolation error gate.
+//
+// Exercises src/scaling end to end against DES ground truth:
+//
+//   * leave-one-grid-point-out cross-validation over a measured MPIBench
+//     sweep (sizes x machine configs): per-operation pooled median / p95
+//     relative error of the per-quantile fits on cells they never saw,
+//   * true extrapolation: the model fitted on the full grid predicts the
+//     quantiles at points outside it — a 4x larger message size and a 2x
+//     larger process count — which are then measured by the simulator and
+//     compared per quantile track,
+//   * determinism: fitting the same table twice must serialise to
+//     byte-identical artifacts.
+//
+// The result is printed as JSON (and written to PEVPM_BENCH_JSON when
+// set).
+//
+// Usage:
+//   tabe_fit_error [--check BASELINE.json]
+//
+// With --check, every error metric must stay within the committed
+// baseline plus an absolute margin (these are statistical quantities, so
+// the gate is in percentage points, not ratios), and the determinism flag
+// must hold exactly; any miss prints the offending metric and exits 1
+// (the CI perf-smoke gate). PEVPM_BENCH_QUICK=1 scales repetition counts
+// down for smoke runs.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "scaling/crossval.h"
+#include "scaling/model.h"
+
+namespace {
+
+/// The table contention level a benchmark config lands on (the pair
+/// pattern keeps nprocs/2 messages in flight; see measure_isend_table).
+int contention_level(const mpibench::Config& config) {
+  return std::max(1, config.nodes * config.procs_per_node / 2);
+}
+
+double sample_quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+/// Per-track relative errors of the fitted model against one measured
+/// off-grid cell, appended to `errors`.
+void extrapolation_errors(const scaling::ScalingModel& model,
+                          const mpibench::DistributionTable& actual,
+                          net::Bytes size, int level,
+                          std::vector<double>& errors) {
+  const auto op = mpibench::OpKind::kPtpOneWay;
+  const stats::EmpiricalDistribution* dist = actual.exact(op, size, level);
+  if (dist == nullptr || !model.covers(op)) return;
+  const auto predicted =
+      model.quantiles(op, static_cast<double>(size), level);
+  for (int t = 0; t < scaling::ScalingModel::kTracks; ++t) {
+    const double truth =
+        dist->quantile(scaling::ScalingModel::track_quantile(t));
+    errors.push_back(std::fabs(predicted[static_cast<std::size_t>(t)] -
+                               truth) /
+                     std::max(std::fabs(truth), 1e-9));
+  }
+}
+
+/// Minimal lookup of `"key": <number>` in a flat JSON document. Good
+/// enough for the baseline files this benchmark writes itself.
+bool json_number(const std::string& doc, const std::string& key,
+                 double& out) {
+  const std::string needle = "\"" + key + "\"";
+  const auto pos = doc.find(needle);
+  if (pos == std::string::npos) return false;
+  const auto colon = doc.find(':', pos + needle.size());
+  if (colon == std::string::npos) return false;
+  out = std::strtod(doc.c_str() + colon + 1, nullptr);
+  return true;
+}
+
+struct Results {
+  double loo_median_pct = 0.0;  ///< worst per-op pooled median
+  double loo_p95_pct = 0.0;     ///< worst per-op pooled p95
+  double extrap_size_median_pct = 0.0;
+  double extrap_size_p95_pct = 0.0;
+  double extrap_procs_median_pct = 0.0;
+  double extrap_procs_p95_pct = 0.0;
+  int fit_deterministic = 0;
+};
+
+std::string to_json(const Results& r) {
+  char buf[1024];
+  std::snprintf(buf, sizeof(buf),
+                "{\n"
+                "  \"schema\": \"pevpm-tabe-fit-error-v1\",\n"
+                "  \"loo_median_pct\": %.3f,\n"
+                "  \"loo_p95_pct\": %.3f,\n"
+                "  \"extrap_size_median_pct\": %.3f,\n"
+                "  \"extrap_size_p95_pct\": %.3f,\n"
+                "  \"extrap_procs_median_pct\": %.3f,\n"
+                "  \"extrap_procs_p95_pct\": %.3f,\n"
+                "  \"fit_deterministic\": %d\n"
+                "}\n",
+                r.loo_median_pct, r.loo_p95_pct, r.extrap_size_median_pct,
+                r.extrap_size_p95_pct, r.extrap_procs_median_pct,
+                r.extrap_procs_p95_pct, r.fit_deterministic);
+  return buf;
+}
+
+/// Applies the CI gate: every error metric within baseline plus an
+/// absolute percentage-point margin, determinism exact. Returns the
+/// number of violations.
+int check_against(const Results& r, const std::string& baseline_doc) {
+  struct Gate {
+    const char* key;
+    double value;
+    double margin_points;
+  };
+  // Median gates are tight (the fits are stable there); p95 gates get a
+  // wider margin because the worst quantile track of the worst cell is a
+  // max statistic over the simulator's sampling noise.
+  const Gate gates[] = {
+      {"loo_median_pct", r.loo_median_pct, 5.0},
+      {"loo_p95_pct", r.loo_p95_pct, 15.0},
+      {"extrap_size_median_pct", r.extrap_size_median_pct, 10.0},
+      {"extrap_size_p95_pct", r.extrap_size_p95_pct, 20.0},
+      {"extrap_procs_median_pct", r.extrap_procs_median_pct, 10.0},
+      {"extrap_procs_p95_pct", r.extrap_procs_p95_pct, 20.0},
+  };
+  int violations = 0;
+  for (const Gate& gate : gates) {
+    double baseline = 0;
+    if (!json_number(baseline_doc, gate.key, baseline)) {
+      std::fprintf(stderr, "check: baseline is missing \"%s\"\n", gate.key);
+      ++violations;
+      continue;
+    }
+    if (gate.value > baseline + gate.margin_points) {
+      std::fprintf(stderr,
+                   "check: %s regressed: %.3f > baseline %.3f + %.1f points\n",
+                   gate.key, gate.value, baseline, gate.margin_points);
+      ++violations;
+    }
+  }
+  if (r.fit_deterministic != 1) {
+    std::fprintf(stderr,
+                 "check: fit_deterministic failed: refitting the same table "
+                 "produced a different artifact\n");
+    ++violations;
+  }
+  return violations;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string check_file;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      check_file = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--check BASELINE.json]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  benchutil::banner("Table E", "scaling-model fit and extrapolation error");
+  const int reps = benchutil::scaled(160, 48);
+
+  // The training sweep: the size x config grid the model is fitted on.
+  const std::vector<net::Bytes> grid_sizes{256, 1024, 4096, 16384};
+  const std::vector<mpibench::Config> grid_configs{{2, 1}, {4, 1}, {8, 1},
+                                                   {16, 1}};
+  const auto table = mpibench::measure_isend_table(
+      benchutil::bench_options(2, 1, reps), grid_sizes, grid_configs, 4);
+
+  Results results;
+
+  // Leave-one-out cross-validation on the training grid.
+  const scaling::CrossValidationReport loo = scaling::cross_validate(table);
+  std::printf("op,cells,loo_median_pct,loo_p95_pct\n");
+  for (const auto& op : loo.per_op) {
+    std::printf("%s,%d,%.3f,%.3f\n", mpibench::to_string(op.op).c_str(),
+                op.cells, 100.0 * op.median_rel_error,
+                100.0 * op.p95_rel_error);
+  }
+  results.loo_median_pct = 100.0 * loo.worst_median();
+  results.loo_p95_pct = 100.0 * loo.worst_p95();
+
+  // Fit on the full grid; refit to assert determinism via the artifact
+  // bytes (the serialisation is exact, max_digits10).
+  const scaling::ScalingModel model = scaling::fit_scaling_model(table);
+  {
+    std::ostringstream first, second;
+    model.save(first);
+    scaling::fit_scaling_model(table).save(second);
+    results.fit_deterministic = first.str() == second.str() ? 1 : 0;
+  }
+
+  // Ground truth at points outside the grid: 4x the largest message size,
+  // and 2x the largest process count.
+  const std::vector<net::Bytes> big_sizes{65536};
+  const auto size_truth = mpibench::measure_isend_table(
+      benchutil::bench_options(2, 1, reps), big_sizes, grid_configs, 4);
+  const std::vector<net::Bytes> mid_sizes{1024, 4096};
+  const std::vector<mpibench::Config> big_configs{{32, 1}};
+  const auto procs_truth = mpibench::measure_isend_table(
+      benchutil::bench_options(2, 1, reps), mid_sizes, big_configs, 2);
+
+  std::vector<double> size_errors;
+  for (const auto& config : grid_configs) {
+    extrapolation_errors(model, size_truth, big_sizes[0],
+                         contention_level(config), size_errors);
+  }
+  std::vector<double> procs_errors;
+  for (const net::Bytes size : mid_sizes) {
+    extrapolation_errors(model, procs_truth, size,
+                         contention_level(big_configs[0]), procs_errors);
+  }
+  results.extrap_size_median_pct =
+      100.0 * sample_quantile(size_errors, 0.5);
+  results.extrap_size_p95_pct = 100.0 * sample_quantile(size_errors, 0.95);
+  results.extrap_procs_median_pct =
+      100.0 * sample_quantile(procs_errors, 0.5);
+  results.extrap_procs_p95_pct =
+      100.0 * sample_quantile(procs_errors, 0.95);
+
+  std::printf("axis,cells,extrap_median_pct,extrap_p95_pct\n");
+  std::printf("size(65536),%zu,%.3f,%.3f\n",
+              size_errors.size() / scaling::ScalingModel::kTracks,
+              results.extrap_size_median_pct, results.extrap_size_p95_pct);
+  std::printf("procs(32),%zu,%.3f,%.3f\n",
+              procs_errors.size() / scaling::ScalingModel::kTracks,
+              results.extrap_procs_median_pct,
+              results.extrap_procs_p95_pct);
+
+  const std::string json = to_json(results);
+  std::printf("%s", json.c_str());
+  if (const char* path = benchutil::json_path()) {
+    std::ofstream out{path};
+    out << json;
+  }
+
+  if (!check_file.empty()) {
+    std::ifstream in{check_file};
+    if (!in) {
+      std::fprintf(stderr, "cannot open baseline %s\n", check_file.c_str());
+      return 2;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const int violations = check_against(results, ss.str());
+    if (violations > 0) return 1;
+    std::printf("check: all gates passed against %s\n", check_file.c_str());
+  }
+  return 0;
+}

@@ -135,13 +135,33 @@ PredictReport format_report(const PredictRequest& request, const Model& model,
   return report;
 }
 
+std::shared_ptr<const scaling::ScalingModel> resolve_scaling(
+    const PredictRequest& request, const mpibench::DistributionTable& table) {
+  if (!request.scaling_text.empty()) {
+    std::istringstream in{request.scaling_text};
+    return std::make_shared<const scaling::ScalingModel>(
+        scaling::ScalingModel::load(in));
+  }
+  if (request.extrapolate) {
+    return std::make_shared<const scaling::ScalingModel>(
+        scaling::fit_scaling_model(table));
+  }
+  return nullptr;
+}
+
 PredictReport run_request(const PredictRequest& request, const Model& model,
                           const mpibench::DistributionTable& table) {
+  PredictOptions options = request.options;
+  std::shared_ptr<const scaling::ScalingModel> scaling;
+  if (options.sampler.scaling == nullptr) {
+    scaling = resolve_scaling(request, table);
+    if (scaling) options.sampler.scaling = scaling.get();
+  }
   std::vector<Prediction> predictions;
   predictions.reserve(request.procs.size());
   for (const int procs : request.procs) {
     predictions.push_back(
-        predict(model, procs, request.overrides, table, request.options));
+        predict(model, procs, request.overrides, table, options));
   }
   return format_report(request, model, table.size(), predictions);
 }

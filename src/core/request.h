@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -17,6 +18,7 @@
 #include "core/parse.h"
 #include "core/predict.h"
 #include "mpibench/table.h"
+#include "scaling/model.h"
 
 namespace pevpm {
 
@@ -33,6 +35,14 @@ struct PredictRequest {
   PredictOptions options{};
   Bindings overrides{};
   bool losses = false;
+  /// Enable scaling-model extrapolation for grid cells the table does not
+  /// cover. With `scaling_text` empty, a model is fitted from the table
+  /// (src/scaling); both paths are deterministic, so the report stays
+  /// byte-identical across thread and job counts.
+  bool extrapolate = false;
+  /// A pre-fitted "pevpm-scaling v1" artifact (file contents, like
+  /// `table_text`). Non-empty implies `extrapolate`.
+  std::string scaling_text;
 };
 
 /// Parses "distribution" | "average" | "minimum" into `sampler.mode`.
@@ -80,7 +90,17 @@ struct PredictReport {
     const PredictRequest& request, const Model& model,
     std::size_t table_entries, const std::vector<Prediction>& predictions);
 
+/// The scaling model a request asks for: parses `scaling_text` when
+/// present, otherwise fits one from `table` when `extrapolate` is set.
+/// Returns nullptr when the request doesn't involve extrapolation. Throws
+/// std::runtime_error on a malformed scaling artifact.
+[[nodiscard]] std::shared_ptr<const scaling::ScalingModel> resolve_scaling(
+    const PredictRequest& request, const mpibench::DistributionTable& table);
+
 /// Runs the request against pre-parsed artifacts (the daemon's cache path).
+/// Honours a scaling model already planted in `request.options.sampler`;
+/// otherwise resolves one per `resolve_scaling` and keeps it alive for the
+/// duration of the call.
 [[nodiscard]] PredictReport run_request(
     const PredictRequest& request, const Model& model,
     const mpibench::DistributionTable& table);

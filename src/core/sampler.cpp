@@ -34,6 +34,47 @@ void DeliverySampler::rehash(std::size_t buckets) {
   }
 }
 
+const DeliverySampler::GridExtent& DeliverySampler::extent(
+    mpibench::OpKind op) {
+  GridExtent& e = extents_[static_cast<std::size_t>(op)];
+  if (e.known) return e;
+  e.known = true;
+  const std::vector<net::Bytes> sizes = table_.sizes(op);
+  const std::vector<int> contentions = table_.contentions(op);
+  if (!sizes.empty() && !contentions.empty()) {
+    e.measured = true;
+    e.min_size = *std::min_element(sizes.begin(), sizes.end());
+    e.max_size = *std::max_element(sizes.begin(), sizes.end());
+    e.min_contention = *std::min_element(contentions.begin(),
+                                         contentions.end());
+    e.max_contention = *std::max_element(contentions.begin(),
+                                         contentions.end());
+  }
+  return e;
+}
+
+bool DeliverySampler::covered(mpibench::OpKind op) {
+  if (extent(op).measured) return true;
+  return options_.scaling != nullptr && options_.scaling->covers(op);
+}
+
+stats::EmpiricalDistribution DeliverySampler::resolve(mpibench::OpKind op,
+                                                      net::Bytes bytes,
+                                                      int contention) {
+  // The scaling model answers keys the table cannot: operations with no
+  // measurements at all, and keys outside the measured grid extent (where
+  // lookup() would otherwise clamp to the edge distribution). On-grid keys
+  // always come from the table — measured data beats any fitted law.
+  if (options_.scaling != nullptr && options_.scaling->covers(op)) {
+    const GridExtent& e = extent(op);
+    const bool off_grid =
+        !e.measured || bytes < e.min_size || bytes > e.max_size ||
+        contention < e.min_contention || contention > e.max_contention;
+    if (off_grid) return options_.scaling->distribution(op, bytes, contention);
+  }
+  return table_.lookup(op, bytes, contention);
+}
+
 DeliverySampler::Cell& DeliverySampler::cell(mpibench::OpKind op,
                                              net::Bytes bytes,
                                              int contention) {
@@ -60,7 +101,7 @@ DeliverySampler::Cell& DeliverySampler::cell(mpibench::OpKind op,
     }
     b = (b + 1) & mask;
   }
-  stats::EmpiricalDistribution dist = table_.lookup(op, bytes, contention);
+  stats::EmpiricalDistribution dist = resolve(op, bytes, contention);
   Cell& fresh = cells_.emplace_back();
   fresh.bytes = bytes;
   fresh.op = op_id;
@@ -76,7 +117,7 @@ DeliverySampler::Cell& DeliverySampler::cell(mpibench::OpKind op,
 double DeliverySampler::draw(mpibench::OpKind op, net::Bytes bytes,
                              int contention,
                              std::optional<double> fallback) {
-  if (table_.contentions(op).empty()) {
+  if (!covered(op)) {
     if (fallback) return *fallback;
     throw std::runtime_error{
         "DeliverySampler: distribution table has no entries for " +
@@ -133,11 +174,10 @@ double DeliverySampler::collective_seconds(CollOp op, net::Bytes bytes,
     }
     return mpibench::OpKind::kBarrier;
   }();
-  if (!table_.contentions(table_op).empty()) {
+  if (covered(table_op)) {
     double t = draw(table_op, bytes, nprocs, std::nullopt);
     // No direct allreduce table: compose as reduce followed by bcast.
-    if (op == CollOp::kAllreduce &&
-        !table_.contentions(mpibench::OpKind::kBcast).empty()) {
+    if (op == CollOp::kAllreduce && covered(mpibench::OpKind::kBcast)) {
       t += draw(mpibench::OpKind::kBcast, bytes, nprocs, std::nullopt);
     }
     return t;

@@ -19,6 +19,7 @@
 //                   "2x1" curves; or n*p for the "n x p averages" curves)
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <optional>
@@ -27,6 +28,7 @@
 
 #include "core/model.h"
 #include "mpibench/table.h"
+#include "scaling/model.h"
 #include "stats/fit.h"
 #include "stats/rng.h"
 
@@ -45,6 +47,12 @@ struct SamplerOptions {
   /// paper) instead of the histograms themselves. Fits smooth the bin
   /// quantisation of coarse tables and compress table storage.
   bool sample_from_fits = false;
+  /// Per-quantile scaling model (src/scaling) used as a fallback for grid
+  /// cells the table does not cover: keys outside the measured size or
+  /// contention range of an operation, or operations with no table entries
+  /// at all. Null disables extrapolation — off-grid keys then clamp to the
+  /// table edge exactly as before. Not owned; must outlive the sampler.
+  const scaling::ScalingModel* scaling = nullptr;
 };
 
 // Thread-safety contract: a DeliverySampler is single-threaded while any
@@ -101,12 +109,33 @@ class DeliverySampler {
     std::optional<stats::FittedDistribution> fit;
   };
 
+  /// Measured-grid extent of one operation, resolved lazily (the table is
+  /// immutable). `measured` is false when the op has no table entries.
+  struct GridExtent {
+    bool known = false;
+    bool measured = false;
+    net::Bytes min_size = 0;
+    net::Bytes max_size = 0;
+    int min_contention = 0;
+    int max_contention = 0;
+  };
+
   [[nodiscard]] double draw(mpibench::OpKind op, net::Bytes bytes,
                             int contention, std::optional<double> fallback);
   /// Flat-hash lookup of the memoised cell for a key, interpolating from
-  /// the table (and growing the index) on first use.
+  /// the table — or reconstructing from the scaling model when the key is
+  /// off the measured grid — and growing the index on first use.
   [[nodiscard]] Cell& cell(mpibench::OpKind op, net::Bytes bytes,
                            int contention);
+  /// The distribution behind a fresh cell: scaling-model reconstruction
+  /// for off-grid keys (when enabled), table interpolation otherwise.
+  [[nodiscard]] stats::EmpiricalDistribution resolve(mpibench::OpKind op,
+                                                     net::Bytes bytes,
+                                                     int contention);
+  [[nodiscard]] const GridExtent& extent(mpibench::OpKind op);
+  /// True when draws for `op` can be answered at all — from the table or
+  /// from a scaling-model series.
+  [[nodiscard]] bool covered(mpibench::OpKind op);
   void rehash(std::size_t buckets);
   [[nodiscard]] static std::size_t hash_key(std::int32_t op, net::Bytes bytes,
                                             std::int32_t contention) noexcept;
@@ -114,6 +143,10 @@ class DeliverySampler {
   const mpibench::DistributionTable& table_;
   SamplerOptions options_;
   stats::Rng rng_;
+  /// Lazily resolved grid extents, one slot per OpKind. Filled during the
+  /// single-threaded warm-up (any cell resolution touches them), read-only
+  /// afterwards — same lifecycle as the cell index below.
+  std::array<GridExtent, 6> extents_{};
   /// Memoised cells in insertion order; `index_` holds open-addressed
   /// bucket -> cell positions (kEmpty = vacant).
   std::vector<Cell> cells_;

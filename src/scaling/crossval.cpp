@@ -1,0 +1,115 @@
+#include "scaling/crossval.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "scaling/model.h"
+
+namespace scaling {
+
+namespace {
+
+/// Linear-interpolated quantile of an unsorted sample set (sorted here).
+double sample_quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double position = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(position);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = position - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+}  // namespace
+
+double CrossValidationReport::worst_median() const {
+  double worst = 0.0;
+  for (const OpCrossValidation& op : per_op) {
+    worst = std::max(worst, op.median_rel_error);
+  }
+  return worst;
+}
+
+double CrossValidationReport::worst_p95() const {
+  double worst = 0.0;
+  for (const OpCrossValidation& op : per_op) {
+    worst = std::max(worst, op.p95_rel_error);
+  }
+  return worst;
+}
+
+CrossValidationReport cross_validate(const mpibench::DistributionTable& table,
+                                     const SearchSpace& space,
+                                     int min_cells) {
+  CrossValidationReport report;
+  constexpr mpibench::OpKind kOps[] = {
+      mpibench::OpKind::kPtpOneWay, mpibench::OpKind::kBarrier,
+      mpibench::OpKind::kBcast,     mpibench::OpKind::kAlltoall,
+      mpibench::OpKind::kReduce,    mpibench::OpKind::kPtpSender};
+  for (const mpibench::OpKind op : kOps) {
+    struct Cell {
+      net::Bytes size = 0;
+      int contention = 0;
+      const stats::EmpiricalDistribution* dist = nullptr;
+    };
+    std::vector<Cell> cells;
+    for (const net::Bytes size : table.sizes(op)) {
+      for (const int contention : table.contentions(op)) {
+        if (const auto* dist = table.exact(op, size, contention)) {
+          cells.push_back(Cell{size, contention, dist});
+        }
+      }
+    }
+    if (static_cast<int>(cells.size()) < std::max(min_cells, 2)) continue;
+
+    std::vector<double> pooled_errors;
+    pooled_errors.reserve(cells.size() * ScalingModel::kTracks);
+    for (std::size_t held = 0; held < cells.size(); ++held) {
+      // Refit every track without the held-out cell.
+      std::array<NormalForm, ScalingModel::kTracks> tracks{};
+      std::vector<Observation> points;
+      points.reserve(cells.size() - 1);
+      for (int track = 0; track < ScalingModel::kTracks; ++track) {
+        const double q = ScalingModel::track_quantile(track);
+        points.clear();
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+          if (i == held) continue;
+          points.push_back(Observation{
+              static_cast<double>(cells[i].size),
+              static_cast<double>(cells[i].contention),
+              cells[i].dist->quantile(q)});
+        }
+        tracks[static_cast<std::size_t>(track)] =
+            fit_normal_form(points, space).form;
+      }
+      // Predict exactly what the sampler would consume: floored + sorted.
+      const std::array<double, ScalingModel::kTracks> predicted =
+          evaluate_tracks(tracks,
+                          static_cast<double>(cells[held].size),
+                          static_cast<double>(cells[held].contention));
+      std::vector<double> cell_errors;
+      cell_errors.reserve(ScalingModel::kTracks);
+      for (int track = 0; track < ScalingModel::kTracks; ++track) {
+        const double actual = cells[held].dist->quantile(
+            ScalingModel::track_quantile(track));
+        const double scale = std::max(std::fabs(actual), 1e-9);
+        cell_errors.push_back(
+            std::fabs(predicted[static_cast<std::size_t>(track)] - actual) /
+            scale);
+      }
+      pooled_errors.insert(pooled_errors.end(), cell_errors.begin(),
+                           cell_errors.end());
+      report.cells.push_back(CrossValidationCell{
+          op, cells[held].size, cells[held].contention,
+          sample_quantile(cell_errors, 0.5),
+          *std::max_element(cell_errors.begin(), cell_errors.end())});
+    }
+    report.per_op.push_back(OpCrossValidation{
+        op, static_cast<int>(cells.size()),
+        sample_quantile(pooled_errors, 0.5),
+        sample_quantile(pooled_errors, 0.95)});
+  }
+  return report;
+}
+
+}  // namespace scaling

@@ -1,0 +1,51 @@
+// Leave-one-grid-point-out cross-validation of the scaling model.
+//
+// For every exact sweep grid point, the per-quantile tracks are refitted
+// with that point withheld and the held-out distribution is predicted from
+// the refitted model. The reported error is relative, per quantile track,
+// against the measured (DES ground truth) quantiles — the methodology of
+// "MPI Benchmarking Revisited": a fit is only trusted at the resolution it
+// can reproduce data it never saw.
+#pragma once
+
+#include <vector>
+
+#include "mpibench/table.h"
+#include "scaling/fit.h"
+
+namespace scaling {
+
+/// One held-out grid point: summary of the per-track relative errors.
+struct CrossValidationCell {
+  mpibench::OpKind op = mpibench::OpKind::kPtpOneWay;
+  net::Bytes size_bytes = 0;
+  int contention = 0;
+  double median_rel_error = 0.0;  ///< median over quantile tracks
+  double max_rel_error = 0.0;     ///< worst quantile track
+};
+
+/// Per-operation pooled summary over every (held-out cell, track) error.
+struct OpCrossValidation {
+  mpibench::OpKind op = mpibench::OpKind::kPtpOneWay;
+  int cells = 0;
+  double median_rel_error = 0.0;
+  double p95_rel_error = 0.0;
+};
+
+struct CrossValidationReport {
+  std::vector<CrossValidationCell> cells;
+  std::vector<OpCrossValidation> per_op;
+
+  /// Worst per-op median (the headline gate value); 0 when empty.
+  [[nodiscard]] double worst_median() const;
+  [[nodiscard]] double worst_p95() const;
+};
+
+/// Runs leave-one-out over every operation with at least `min_cells` exact
+/// grid points (fewer cannot support a held-out fit); operations below the
+/// threshold are skipped, not failed.
+[[nodiscard]] CrossValidationReport cross_validate(
+    const mpibench::DistributionTable& table, const SearchSpace& space = {},
+    int min_cells = 3);
+
+}  // namespace scaling

@@ -1,0 +1,145 @@
+#include "scaling/model.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+namespace scaling {
+
+namespace {
+/// Matches fit.cpp's weighting floor: no predicted time below a nanosecond.
+constexpr double kTimeFloor = 1e-9;
+}  // namespace
+
+template <std::size_t N>
+std::array<double, N> evaluate_tracks(const std::array<NormalForm, N>& tracks,
+                                      double size_bytes, double procs) {
+  std::array<double, N> values{};
+  for (std::size_t t = 0; t < N; ++t) {
+    values[t] = std::max(tracks[t].evaluate(size_bytes, procs), kTimeFloor);
+  }
+  std::sort(values.begin(), values.end());
+  return values;
+}
+
+template std::array<double, ScalingModel::kTracks> evaluate_tracks(
+    const std::array<NormalForm, ScalingModel::kTracks>&, double, double);
+
+void ScalingModel::set_series(mpibench::OpKind op, Series series) {
+  series_[static_cast<int>(op)] = series;
+}
+
+bool ScalingModel::covers(mpibench::OpKind op) const {
+  return series_.contains(static_cast<int>(op));
+}
+
+const ScalingModel::Series* ScalingModel::series(mpibench::OpKind op) const {
+  const auto it = series_.find(static_cast<int>(op));
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+std::array<double, ScalingModel::kTracks> ScalingModel::quantiles(
+    mpibench::OpKind op, double size_bytes, double procs) const {
+  const Series* s = series(op);
+  if (s == nullptr) {
+    throw std::out_of_range{"ScalingModel: no series for op " +
+                            mpibench::to_string(op)};
+  }
+  return evaluate_tracks(s->tracks, size_bytes, procs);
+}
+
+stats::EmpiricalDistribution ScalingModel::distribution(
+    mpibench::OpKind op, net::Bytes size_bytes, int contention) const {
+  const std::array<double, kTracks> values =
+      quantiles(op, static_cast<double>(size_bytes), contention);
+  return stats::EmpiricalDistribution::from_samples(values);
+}
+
+void ScalingModel::save(std::ostream& os) const {
+  os << "pevpm-scaling v1\n" << series_.size() << ' ' << kTracks << '\n';
+  for (const auto& [op, series] : series_) {
+    os << op << '\n';
+    for (const NormalForm& form : series.tracks) form.save(os);
+  }
+}
+
+ScalingModel ScalingModel::load(std::istream& is) {
+  std::string magic;
+  std::string version;
+  if (!(is >> magic >> version) || magic != "pevpm-scaling" ||
+      version != "v1") {
+    throw std::runtime_error{"ScalingModel::load: bad header"};
+  }
+  std::size_t count = 0;
+  int tracks = 0;
+  if (!(is >> count >> tracks) || tracks != kTracks) {
+    throw std::runtime_error{"ScalingModel::load: bad track count"};
+  }
+  ScalingModel model;
+  for (std::size_t i = 0; i < count; ++i) {
+    int op = 0;
+    if (!(is >> op)) {
+      throw std::runtime_error{"ScalingModel::load: truncated series"};
+    }
+    Series series;
+    for (NormalForm& form : series.tracks) form = NormalForm::load(is);
+    model.series_[op] = series;
+  }
+  return model;
+}
+
+ScalingModel fit_scaling_model(const mpibench::DistributionTable& table,
+                               const SearchSpace& space,
+                               std::vector<OpFitDiagnostics>* diagnostics) {
+  ScalingModel model;
+  constexpr mpibench::OpKind kOps[] = {
+      mpibench::OpKind::kPtpOneWay, mpibench::OpKind::kBarrier,
+      mpibench::OpKind::kBcast,     mpibench::OpKind::kAlltoall,
+      mpibench::OpKind::kReduce,    mpibench::OpKind::kPtpSender};
+  for (const mpibench::OpKind op : kOps) {
+    // Exact grid points only: interpolated lookups are derived from these
+    // and would weight the fit toward whatever the query pattern was.
+    struct Cell {
+      net::Bytes size = 0;
+      int contention = 0;
+      const stats::EmpiricalDistribution* dist = nullptr;
+    };
+    std::vector<Cell> cells;
+    for (const net::Bytes size : table.sizes(op)) {
+      for (const int contention : table.contentions(op)) {
+        if (const auto* dist = table.exact(op, size, contention)) {
+          cells.push_back(Cell{size, contention, dist});
+        }
+      }
+    }
+    if (cells.empty()) continue;
+
+    ScalingModel::Series series;
+    double error_sum = 0.0;
+    double error_max = 0.0;
+    std::vector<Observation> points(cells.size());
+    for (int track = 0; track < ScalingModel::kTracks; ++track) {
+      const double q = ScalingModel::track_quantile(track);
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        points[i] = Observation{static_cast<double>(cells[i].size),
+                                static_cast<double>(cells[i].contention),
+                                cells[i].dist->quantile(q)};
+      }
+      const TermFit fit = fit_normal_form(points, space);
+      series.tracks[static_cast<std::size_t>(track)] = fit.form;
+      error_sum += fit.mean_rel_error;
+      error_max = std::max(error_max, fit.mean_rel_error);
+    }
+    model.set_series(op, series);
+    if (diagnostics != nullptr) {
+      diagnostics->push_back(OpFitDiagnostics{
+          op, static_cast<int>(cells.size()),
+          error_sum / ScalingModel::kTracks, error_max});
+    }
+  }
+  return model;
+}
+
+}  // namespace scaling

@@ -1,0 +1,91 @@
+// The serialisable per-quantile scaling model — PEVPM's answer for grid
+// cells MPIBench never measured.
+//
+// For every operation the model carries kTracks fitted normal-form laws,
+// one per quantile of the completion-time distribution. Evaluating all
+// tracks at an unmeasured (message size, contention) point reconstructs
+// the whole distribution shape — not just its mean, which Section 4 of the
+// paper warns collapses exactly the contention effects PEVPM exists to
+// capture. Track predictions are floored and sorted before use: fitted
+// quantile curves are independent, so nothing else guarantees they stay
+// monotone off the grid.
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <map>
+
+#include "mpibench/table.h"
+#include "scaling/fit.h"
+#include "scaling/normal_form.h"
+#include "stats/empirical.h"
+
+namespace scaling {
+
+/// Evaluates a full quantile-track set at one point: per-track normal
+/// forms, floored at a nanosecond and sorted non-decreasing (monotone
+/// repair). Shared by ScalingModel::distribution and cross-validation so
+/// reported errors measure exactly what predictions consume.
+template <std::size_t N>
+[[nodiscard]] std::array<double, N> evaluate_tracks(
+    const std::array<NormalForm, N>& tracks, double size_bytes,
+    double procs);
+
+class ScalingModel {
+ public:
+  /// Quantile tracks per (operation) series; track t models the
+  /// (t + 0.5) / kTracks quantile, the bin midpoints of a 16-cell CDF.
+  static constexpr int kTracks = 16;
+
+  [[nodiscard]] static double track_quantile(int track) noexcept {
+    return (static_cast<double>(track) + 0.5) / kTracks;
+  }
+
+  struct Series {
+    std::array<NormalForm, kTracks> tracks{};
+  };
+
+  void set_series(mpibench::OpKind op, Series series);
+
+  [[nodiscard]] bool covers(mpibench::OpKind op) const;
+  [[nodiscard]] const Series* series(mpibench::OpKind op) const;
+  [[nodiscard]] std::size_t size() const noexcept { return series_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return series_.empty(); }
+
+  /// The predicted quantile values at (size, contention), monotone and
+  /// positive. Throws std::out_of_range when `op` has no series.
+  [[nodiscard]] std::array<double, kTracks> quantiles(mpibench::OpKind op,
+                                                      double size_bytes,
+                                                      double procs) const;
+
+  /// The reconstructed distribution at one off-grid point: kTracks atoms
+  /// of equal weight at the predicted quantiles. A pure function of the
+  /// model and the key — the sampler can memoise it exactly like a table
+  /// cell without changing any determinism contract.
+  [[nodiscard]] stats::EmpiricalDistribution distribution(
+      mpibench::OpKind op, net::Bytes size_bytes, int contention) const;
+
+  /// Serialises as "pevpm-scaling v1"; round-trips with `load`.
+  void save(std::ostream& os) const;
+  [[nodiscard]] static ScalingModel load(std::istream& is);
+
+ private:
+  std::map<int, Series> series_;
+};
+
+/// Per-operation training diagnostics from fit_scaling_model.
+struct OpFitDiagnostics {
+  mpibench::OpKind op = mpibench::OpKind::kPtpOneWay;
+  int grid_cells = 0;
+  double mean_rel_error = 0.0;  ///< mean over tracks of in-sample error
+  double max_track_error = 0.0;
+};
+
+/// Fits one series per operation present in `table`, per quantile track,
+/// over the exact sweep grid points (interpolated cells are derived data
+/// and would double-count). Deterministic: same table, same model.
+[[nodiscard]] ScalingModel fit_scaling_model(
+    const mpibench::DistributionTable& table, const SearchSpace& space = {},
+    std::vector<OpFitDiagnostics>* diagnostics = nullptr);
+
+}  // namespace scaling

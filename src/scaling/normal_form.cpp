@@ -1,0 +1,68 @@
+#include "scaling/normal_form.h"
+
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace scaling {
+
+double AxisTerm::basis(double x) const {
+  if (x < 0.0) x = 0.0;
+  double value = 1.0;
+  if (exponent != 0.0) value *= std::pow(x, exponent);
+  if (log_exponent != 0) {
+    value *= std::pow(std::log2(x + 1.0), log_exponent);
+  }
+  return value;
+}
+
+double NormalForm::evaluate(double size_bytes, double procs_level) const {
+  return constant +
+         coefficient * size.basis(size_bytes) * procs.basis(procs_level);
+}
+
+std::string NormalForm::str() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << constant;
+  if (coefficient == 0.0) return os.str();
+  os << " + " << coefficient;
+  const auto axis = [&os](const AxisTerm& term, const char* var) {
+    if (term.exponent != 0.0) os << " * " << var << '^' << term.exponent;
+    if (term.log_exponent != 0) {
+      os << " * log2(" << var << ")^" << term.log_exponent;
+    }
+  };
+  axis(size, "s");
+  axis(procs, "p");
+  return os.str();
+}
+
+void NormalForm::save(std::ostream& os) const {
+  const auto precision =
+      os.precision(std::numeric_limits<double>::max_digits10);
+  os << constant << ' ' << coefficient << ' ' << size.exponent << ' '
+     << size.log_exponent << ' ' << procs.exponent << ' '
+     << procs.log_exponent << '\n';
+  os.precision(precision);
+}
+
+NormalForm NormalForm::load(std::istream& is) {
+  NormalForm form;
+  if (!(is >> form.constant >> form.coefficient >> form.size.exponent >>
+        form.size.log_exponent >> form.procs.exponent >>
+        form.procs.log_exponent)) {
+    throw std::runtime_error{"NormalForm::load: truncated term"};
+  }
+  if (!std::isfinite(form.constant) || !std::isfinite(form.coefficient) ||
+      !std::isfinite(form.size.exponent) ||
+      !std::isfinite(form.procs.exponent)) {
+    throw std::runtime_error{"NormalForm::load: non-finite term"};
+  }
+  return form;
+}
+
+}  // namespace scaling

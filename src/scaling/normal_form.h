@@ -1,0 +1,51 @@
+// Performance-model normal form (the Extra-P family).
+//
+// A fitted scaling law is `constant + coefficient * s^a * log2(s+1)^b *
+// p^c * log2(p+1)^d` over the two sweep axes PEVPM measures: message size
+// in bytes (s) and contention level / total communicating processes (p).
+// Exponents live on a small bounded lattice, so model search is an
+// exhaustive scan rather than a nonlinear optimisation — the same
+// single-term-plus-constant restriction Extra-P's modeller applies, which
+// keeps extrapolation behaviour monotone and explainable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace scaling {
+
+/// One axis factor x^exponent * log2(x + 1)^log_exponent. The +1 keeps the
+/// logarithm finite for zero-byte messages (barrier rows).
+struct AxisTerm {
+  double exponent = 0.0;
+  int log_exponent = 0;
+
+  [[nodiscard]] bool operator==(const AxisTerm&) const = default;
+
+  /// The factor's value at x (x >= 0).
+  [[nodiscard]] double basis(double x) const;
+
+  /// True when the factor is identically 1 (a constant axis).
+  [[nodiscard]] bool trivial() const noexcept {
+    return exponent == 0.0 && log_exponent == 0;
+  }
+};
+
+/// `constant + coefficient * size.basis(s) * procs.basis(p)`.
+struct NormalForm {
+  double constant = 0.0;
+  double coefficient = 0.0;
+  AxisTerm size;
+  AxisTerm procs;
+
+  [[nodiscard]] double evaluate(double size_bytes, double procs_level) const;
+
+  /// Human-readable "c0 + c1 * s^a * log^b(s) * p^c" rendering for reports.
+  [[nodiscard]] std::string str() const;
+
+  /// Serialises one whitespace-separated line; round-trips with `load`.
+  void save(std::ostream& os) const;
+  [[nodiscard]] static NormalForm load(std::istream& is);
+};
+
+}  // namespace scaling

@@ -26,10 +26,12 @@ std::shared_ptr<const void> ArtifactCache::get_or_load(
   pevpm::MutexLock lock{mu_};
   if (const auto it = entries_.find(key); it != entries_.end()) {
     ++stats_.hits;
+    if (kind == Kind::kScaling) ++scaling_stats_.hits;
     lru_.splice(lru_.begin(), lru_, it->second.lru);
     return it->second.artifact;
   }
   ++stats_.misses;
+  if (kind == Kind::kScaling) ++scaling_stats_.misses;
   // Parse outside the lock: loads can be slow and concurrent misses on
   // *different* artifacts should not serialise. A racing miss on the same
   // key just parses twice and the second insert wins — wasted work, never
@@ -43,11 +45,16 @@ std::shared_ptr<const void> ArtifactCache::get_or_load(
   }
   lru_.push_front(key);
   entries_.insert_or_assign(key, Entry{artifact, lru_.begin()});
+  if (kind == Kind::kScaling) ++scaling_stats_.entries;
   while (entries_.size() > capacity_) {
     const Key victim = lru_.back();
     lru_.pop_back();
     entries_.erase(victim);
     ++stats_.evictions;
+    if (victim.kind == Kind::kScaling) {
+      ++scaling_stats_.evictions;
+      --scaling_stats_.entries;
+    }
   }
   stats_.entries = entries_.size();
   return artifact;
@@ -81,10 +88,27 @@ std::shared_ptr<const net::ClusterParams> ArtifactCache::cluster(
   return std::static_pointer_cast<const net::ClusterParams>(artifact);
 }
 
+std::shared_ptr<const scaling::ScalingModel> ArtifactCache::scaling(
+    std::string_view text,
+    const std::function<scaling::ScalingModel()>& load) {
+  auto artifact = get_or_load(Kind::kScaling, text, [&] {
+    return std::shared_ptr<const void>{
+        std::make_shared<const scaling::ScalingModel>(load())};
+  });
+  return std::static_pointer_cast<const scaling::ScalingModel>(artifact);
+}
+
 CacheStats ArtifactCache::stats() const {
   pevpm::MutexLock lock{mu_};
   CacheStats out = stats_;
   out.entries = entries_.size();
+  return out;
+}
+
+CacheStats ArtifactCache::scaling_stats() const {
+  pevpm::MutexLock lock{mu_};
+  CacheStats out = scaling_stats_;
+  out.capacity = capacity_;
   return out;
 }
 
@@ -93,6 +117,7 @@ void ArtifactCache::clear() {
   entries_.clear();
   lru_.clear();
   stats_.entries = 0;
+  scaling_stats_.entries = 0;
 }
 
 }  // namespace serve

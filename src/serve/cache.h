@@ -24,6 +24,7 @@
 #include "core/thread_annotations.h"
 #include "mpibench/table.h"
 #include "net/calibration.h"
+#include "scaling/model.h"
 
 namespace serve {
 
@@ -62,12 +63,26 @@ class ArtifactCache {
       std::string_view text,
       const std::function<net::ClusterParams()>& load);
 
+  /// Fitted per-quantile scaling model. `text` is the identity of whatever
+  /// the model derives from: a scaling artifact when the client shipped
+  /// one, or the table text when the daemon fits on demand — fitting is
+  /// deterministic, so table text keys the fit exactly.
+  [[nodiscard]] std::shared_ptr<const scaling::ScalingModel> scaling(
+      std::string_view text,
+      const std::function<scaling::ScalingModel()>& load);
+
   [[nodiscard]] CacheStats stats() const EXCLUDES(mu_);
+
+  /// Hit/miss/eviction counters restricted to scaling-model entries (the
+  /// /stats endpoint reports fitted-model cache behaviour separately —
+  /// fits are far more expensive than parses, so their hit rate is the
+  /// one worth watching).
+  [[nodiscard]] CacheStats scaling_stats() const EXCLUDES(mu_);
 
   void clear() EXCLUDES(mu_);
 
  private:
-  enum class Kind : int { kModel, kTable, kCluster };
+  enum class Kind : int { kModel, kTable, kCluster, kScaling };
 
   struct Key {
     Kind kind;
@@ -90,6 +105,7 @@ class ArtifactCache {
   std::map<Key, Entry> entries_ GUARDED_BY(mu_);
   std::list<Key> lru_ GUARDED_BY(mu_);  ///< most recently used first
   CacheStats stats_ GUARDED_BY(mu_);
+  CacheStats scaling_stats_ GUARDED_BY(mu_);  ///< kScaling subset of stats_
 };
 
 }  // namespace serve

@@ -372,6 +372,13 @@ Json Server::handle_predict(const Json& request) {
   if (const Json* losses = request.find("losses")) {
     predict.losses = losses->as_bool();
   }
+  if (const Json* extrapolate = request.find("extrapolate")) {
+    predict.extrapolate = extrapolate->as_bool();
+  }
+  if (const Json* scaling = request.find("scaling_text")) {
+    predict.scaling_text = scaling->as_string();
+    predict.extrapolate = true;
+  }
   if (const Json* overrides = request.find("set")) {
     for (const auto& [name, value] : overrides->as_object()) {
       predict.overrides[name] = value.as_double();
@@ -426,6 +433,12 @@ Json Server::handle_stats() const {
   cache.set("entries", Json{static_cast<std::uint64_t>(stats.cache.entries)});
   cache.set("capacity",
             Json{static_cast<std::uint64_t>(stats.cache.capacity)});
+  Json scaling_cache;
+  scaling_cache.set("hits", Json{stats.scaling_cache.hits});
+  scaling_cache.set("misses", Json{stats.scaling_cache.misses});
+  scaling_cache.set("evictions", Json{stats.scaling_cache.evictions});
+  scaling_cache.set(
+      "entries", Json{static_cast<std::uint64_t>(stats.scaling_cache.entries)});
   Json body;
   body.set("queue_depth", Json{static_cast<std::uint64_t>(stats.queue_depth)});
   body.set("in_flight", Json{static_cast<std::uint64_t>(stats.in_flight)});
@@ -435,7 +448,9 @@ Json Server::handle_stats() const {
   body.set("deadline_expired", Json{stats.deadline_expired});
   body.set("failed", Json{stats.failed});
   body.set("bad_requests", Json{stats.bad_requests});
+  body.set("extrapolations", Json{stats.extrapolations});
   body.set("cache", std::move(cache));
+  body.set("scaling_cache", std::move(scaling_cache));
   body.set("predict_latency", tail_to_json(stats.predict_latency));
   body.set("queue_wait", tail_to_json(stats.queue_wait));
   body.set("draining", Json{stats.draining});

@@ -198,6 +198,7 @@ Service::Response Service::predict(const pevpm::PredictRequest& request,
   // well-formed request cached).
   std::shared_ptr<const pevpm::Model> model;
   std::shared_ptr<const mpibench::DistributionTable> table;
+  std::shared_ptr<const scaling::ScalingModel> scaling;
   try {
     model = cache_.model(request.model_text,
                          [&] { return parse_request_model(request); });
@@ -205,6 +206,20 @@ Service::Response Service::predict(const pevpm::PredictRequest& request,
       std::istringstream in{request.table_text};
       return mpibench::DistributionTable::load(in);
     });
+    // A shipped artifact is keyed by its own text; an on-demand fit is
+    // keyed by the table text (fitting is deterministic, so the table is
+    // the fit's full identity). Distinct cache kinds keep the fit entry
+    // from colliding with the parsed table under the same key.
+    if (!request.scaling_text.empty()) {
+      scaling = cache_.scaling(request.scaling_text, [&] {
+        std::istringstream in{request.scaling_text};
+        return scaling::ScalingModel::load(in);
+      });
+    } else if (request.extrapolate) {
+      scaling = cache_.scaling(request.table_text, [&] {
+        return scaling::fit_scaling_model(*table);
+      });
+    }
   } catch (const std::exception& e) {
     pevpm::MutexLock lock{mu_};
     ++bad_requests_;
@@ -226,8 +241,10 @@ Service::Response Service::predict(const pevpm::PredictRequest& request,
   job.request = &request;
   job.model = std::move(model);
   job.table = std::move(table);
+  job.scaling = std::move(scaling);
   job.options = request.options;
   job.options.tracer = options_.tracer;
+  job.options.sampler.scaling = job.scaling.get();
   job.reps = pevpm::replication_count(job.options);
   job.seeds = pevpm::replication_seeds(job.options);
   job.results.assign(
@@ -262,6 +279,7 @@ Service::Response Service::predict(const pevpm::PredictRequest& request,
     return response;
   }
   ++accepted_;
+  if (job.scaling != nullptr) ++extrapolations_;
   job.admitted_at = Clock::now();
   const double effective_deadline =
       deadline_ms > 0.0 ? deadline_ms : options_.default_deadline_ms;
@@ -345,7 +363,9 @@ ServiceStats Service::stats() const {
   out.deadline_expired = deadline_expired_;
   out.failed = failed_;
   out.bad_requests = bad_requests_;
+  out.extrapolations = extrapolations_;
   out.cache = cache_.stats();
+  out.scaling_cache = cache_.scaling_stats();
   out.predict_latency = stats::tail_summary(latency_samples_);
   out.queue_wait = stats::tail_summary(wait_samples_);
   out.draining = draining_;

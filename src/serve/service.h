@@ -68,7 +68,12 @@ struct ServiceStats {
   std::uint64_t deadline_expired = 0;
   std::uint64_t failed = 0;     ///< evaluation errors (status 500)
   std::uint64_t bad_requests = 0;
+  /// Requests that asked for scaling-model extrapolation (accepted only).
+  std::uint64_t extrapolations = 0;
   CacheStats cache;
+  /// Fitted scaling-model subset of `cache` (hit rate of the expensive
+  /// per-quantile fits, keyed by table or artifact text).
+  CacheStats scaling_cache;
   stats::TailSummary predict_latency;  ///< seconds, completed predicts
   stats::TailSummary queue_wait;       ///< seconds, admission -> first slice
   bool draining = false;
@@ -123,6 +128,9 @@ class Service {
     const pevpm::PredictRequest* request = nullptr;
     std::shared_ptr<const pevpm::Model> model;
     std::shared_ptr<const mpibench::DistributionTable> table;
+    /// Keeps the model behind options.sampler.scaling alive (cache entry
+    /// or per-request fit); null when the request doesn't extrapolate.
+    std::shared_ptr<const scaling::ScalingModel> scaling;
     /// request->options with the tracer swapped for the service's own;
     /// seeds and slices are derived from this copy.
     pevpm::PredictOptions options{};
@@ -179,6 +187,7 @@ class Service {
   std::uint64_t deadline_expired_ GUARDED_BY(mu_) = 0;
   std::uint64_t failed_ GUARDED_BY(mu_) = 0;
   std::uint64_t bad_requests_ GUARDED_BY(mu_) = 0;
+  std::uint64_t extrapolations_ GUARDED_BY(mu_) = 0;
   std::vector<double> latency_samples_ GUARDED_BY(mu_);
   std::vector<double> wait_samples_ GUARDED_BY(mu_);
   std::size_t latency_next_ GUARDED_BY(mu_) = 0;

@@ -133,7 +133,11 @@ double FittedDistribution::support_min() const {
 
 double FittedDistribution::sample(Rng& rng) const {
   switch (family) {
-    case FitFamily::kNormal: return rng.normal(p1, p2);
+    case FitFamily::kNormal:
+      // The point-mass fallback for degenerate fits (see fit()): return
+      // the atom itself rather than feeding sigma = 0 into the sampler.
+      if (p2 <= 0.0) return p1;
+      return rng.normal(p1, p2);
     case FitFamily::kShiftedLognormal:
       return shift + rng.lognormal(p1, p2);
     case FitFamily::kShiftedGamma: {
@@ -171,6 +175,20 @@ double FittedDistribution::sample(Rng& rng) const {
 FittedDistribution fit(const EmpiricalDistribution& d, FitFamily family) {
   if (!d.valid()) throw std::invalid_argument{"fit: empty distribution"};
   const double mean = d.mean();
+  // Degenerate (constant / zero-variance) inputs: the shifted families'
+  // moment matching divides by the excess over the shift, which collapses
+  // to rounding noise when max == min — at large magnitudes the 1e-12
+  // anchors vanish entirely and the parameters go NaN. Every family
+  // describes the same data here, a point mass, so return exactly that
+  // (kNormal with sigma 0; cdf is already a step and sample() returns the
+  // atom without consuming randomness).
+  if (!(d.stddev() > 0.0) || !(d.max() > d.min())) {
+    FittedDistribution point;
+    point.family = FitFamily::kNormal;
+    point.p1 = mean;
+    point.p2 = 0.0;
+    return point;
+  }
   const double sd = std::max(d.stddev(), 1e-12);
   FittedDistribution out;
   out.family = family;

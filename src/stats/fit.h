@@ -41,6 +41,8 @@ struct FittedDistribution {
 
 /// Fits one family to an empirical distribution by the method of moments.
 /// For shifted families the shift is set just below the observed minimum.
+/// Degenerate inputs (zero variance or max == min) collapse every family
+/// to a point mass at the mean (kNormal with sigma 0), never NaN.
 [[nodiscard]] FittedDistribution fit(const EmpiricalDistribution& d,
                                      FitFamily family);
 

@@ -14,6 +14,7 @@
 
 #include "core/request.h"
 #include "mpibench/benchmark.h"
+#include "scaling/model.h"
 #include "serve/client.h"
 #include "serve/json.h"
 #include "serve/server.h"
@@ -100,6 +101,62 @@ TEST(ServeService, PredictionMatchesCliCodePathByteForByte) {
   ASSERT_EQ(again.status, 200);
   EXPECT_EQ(again.summary, reference.summary);
   EXPECT_GE(service.stats().cache.hits, 2u);
+}
+
+TEST(ServeService, ExtrapolateRequestMatchesCliAndCountsCacheTraffic) {
+  pevpm::PredictRequest request = chain_request(13);
+  request.procs = {4, 8};  // 8 pushes contention past the measured levels
+  request.extrapolate = true;
+  const pevpm::PredictReport reference = pevpm::run_request(request);
+
+  serve::ServiceOptions options;
+  options.threads = 3;
+  serve::Service service{options};
+  const serve::Service::Response response = service.predict(request);
+  ASSERT_EQ(response.status, 200) << response.error;
+  EXPECT_EQ(response.summary, reference.summary);
+
+  // First request fits the model (one scaling-cache miss); the repeat hits.
+  serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.extrapolations, 1u);
+  EXPECT_EQ(stats.scaling_cache.misses, 1u);
+  EXPECT_EQ(stats.scaling_cache.hits, 0u);
+  const serve::Service::Response again = service.predict(request);
+  ASSERT_EQ(again.status, 200);
+  EXPECT_EQ(again.summary, reference.summary);
+  stats = service.stats();
+  EXPECT_EQ(stats.extrapolations, 2u);
+  EXPECT_EQ(stats.scaling_cache.misses, 1u);
+  EXPECT_EQ(stats.scaling_cache.hits, 1u);
+
+  // A shipped pre-fitted artifact answers with the same bytes, keyed by
+  // its own text (a fresh cache miss, not a hit on the table-keyed fit).
+  std::istringstream table_in{request.table_text};
+  const auto table = mpibench::DistributionTable::load(table_in);
+  std::ostringstream artifact;
+  scaling::fit_scaling_model(table).save(artifact);
+  request.scaling_text = artifact.str();
+  const serve::Service::Response shipped = service.predict(request);
+  ASSERT_EQ(shipped.status, 200) << shipped.error;
+  EXPECT_EQ(shipped.summary, reference.summary);
+  stats = service.stats();
+  EXPECT_EQ(stats.extrapolations, 3u);
+  EXPECT_EQ(stats.scaling_cache.misses, 2u);
+
+  // A non-extrapolating request leaves the counters alone.
+  pevpm::PredictRequest plain = chain_request(13);
+  ASSERT_EQ(service.predict(plain).status, 200);
+  EXPECT_EQ(service.stats().extrapolations, 3u);
+}
+
+TEST(ServeService, MalformedScalingArtifactAnswers400) {
+  pevpm::PredictRequest request = chain_request(17);
+  request.scaling_text = "pevpm-scaling v1\n1 16\ntruncated\n";
+  request.extrapolate = true;
+  serve::Service service{serve::ServiceOptions{}};
+  const serve::Service::Response response = service.predict(request);
+  EXPECT_EQ(response.status, 400);
+  EXPECT_EQ(service.stats().bad_requests, 1u);
 }
 
 TEST(ServeService, ConcurrentSocketClientsMatchCliBytes) {

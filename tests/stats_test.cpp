@@ -447,6 +447,46 @@ INSTANTIATE_TEST_SUITE_P(
         FitCase{stats::FitFamily::kShiftedExponential, "exponential"}),
     [](const auto& param_info) { return std::string{param_info.param.name}; });
 
+TEST(Fit, DegenerateInputsCollapseToPointMass) {
+  // Regression: constant inputs used to reach the shifted families'
+  // moment matching, whose 1e-12 anchors vanish at large magnitudes and
+  // leave NaN parameters. Every family must return a point mass instead.
+  stats::Rng rng{7};
+  for (const double value : {42.0, 3.5e-5, 1.0e9}) {
+    const auto d = stats::EmpiricalDistribution::constant(value);
+    for (const auto family :
+         {stats::FitFamily::kNormal, stats::FitFamily::kShiftedLognormal,
+          stats::FitFamily::kShiftedGamma,
+          stats::FitFamily::kShiftedExponential}) {
+      const auto fitted = stats::fit(d, family);
+      EXPECT_TRUE(std::isfinite(fitted.p1));
+      EXPECT_TRUE(std::isfinite(fitted.p2));
+      EXPECT_DOUBLE_EQ(fitted.mean(), value);
+      EXPECT_DOUBLE_EQ(fitted.sample(rng), value);
+      EXPECT_DOUBLE_EQ(fitted.cdf(value), 1.0);
+      EXPECT_DOUBLE_EQ(fitted.cdf(value * 0.99 - 1.0), 0.0);
+    }
+  }
+}
+
+TEST(Fit, DegeneratePointMassDoesNotConsumeRandomness) {
+  // The point-mass fallback must leave the RNG stream untouched so a
+  // degenerate cell cannot shift every later draw of a replication.
+  const auto d = stats::EmpiricalDistribution::constant(2.5);
+  const auto fitted = stats::fit(d, stats::FitFamily::kShiftedGamma);
+  stats::Rng a{123};
+  stats::Rng b{123};
+  (void)fitted.sample(a);
+  EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Fit, BestFitHandlesDegenerateInput) {
+  const auto d = stats::EmpiricalDistribution::constant(7.75);
+  const auto best = stats::fit_best(d);
+  EXPECT_DOUBLE_EQ(best.distribution.mean(), 7.75);
+  EXPECT_TRUE(std::isfinite(best.ks));
+}
+
 TEST(Fit, BestFitPrefersGeneratingFamily) {
   stats::Rng rng{99};
   stats::Histogram h{0.1};

@@ -18,6 +18,14 @@
 //     --trace FILE       record per-replication events (thread-safe across
 //                        the worker pool) and dump them as CSV to FILE
 //     --losses           print the top blocking-loss directives
+//     --extrapolate      fit a per-quantile scaling model from the table
+//                        and use it for (size, contention) keys outside
+//                        the measured grid, instead of clamping to the
+//                        table edge. Deterministic: the report is
+//                        byte-identical at any --threads count.
+//     --scaling FILE     use a pre-fitted scaling model (scalefit output)
+//                        instead of fitting from the table; implies
+//                        --extrapolate
 //     --dump             print the parsed model and exit
 //     --server SOCKET    send the request to a running pevpmd instead of
 //                        evaluating locally (SOCKET is a unix path, or
@@ -49,7 +57,7 @@ namespace {
                "          [--contention scoreboard|fixed:<level>]\n"
                "          [--reps R] [--threads N] [--set name=value]...\n"
                "          [--seed S] [--trace FILE]\n"
-               "          [--losses]\n"
+               "          [--losses] [--extrapolate] [--scaling FILE]\n"
                "          [--dump]\n"
                "          [--server SOCKET]\n"
                "          [--version]\n",
@@ -101,6 +109,10 @@ int run_remote(const std::string& endpoint,
   frame.set("reps", serve::Json{request.options.replications});
   frame.set("seed", serve::Json{request.options.seed});
   frame.set("losses", serve::Json{request.losses});
+  if (request.extrapolate) frame.set("extrapolate", serve::Json{true});
+  if (!request.scaling_text.empty()) {
+    frame.set("scaling_text", serve::Json{request.scaling_text});
+  }
   if (!request.overrides.empty()) frame.set("set", std::move(set));
 
   try {
@@ -140,6 +152,7 @@ int main(int argc, char** argv) {
   std::string model_file;
   std::string table_file;
   std::string trace_file;
+  std::string scaling_file;
   std::string server;
   pevpm::PredictRequest request;
   trace::Tracer tracer;
@@ -180,6 +193,11 @@ int main(int argc, char** argv) {
       trace_file = value();
     } else if (flag == "--losses") {
       request.losses = true;
+    } else if (flag == "--extrapolate") {
+      request.extrapolate = true;
+    } else if (flag == "--scaling") {
+      scaling_file = value();
+      request.extrapolate = true;
     } else if (flag == "--dump") {
       dump = true;
     } else if (flag == "--server") {
@@ -214,6 +232,7 @@ int main(int argc, char** argv) {
   }
   request.table_text = slurp(table_file);
   request.table_label = table_file;
+  if (!scaling_file.empty()) request.scaling_text = slurp(scaling_file);
 
   if (!server.empty()) return run_remote(server, request);
 
