@@ -33,7 +33,7 @@ int main() {
   rt.run([&](smpi::Comm& comm) {
     const int p = comm.size();
     const int r = comm.rank();
-    std::vector<std::byte> halo(jacobi::kHaloBytes);
+    std::vector<std::byte> halo(jacobi::kHaloBytes.count());
     for (int it = 0; it < iterations; ++it) {
       if (r % 2 == 0) {
         if (r != 0) comm.send(halo, r - 1, 0);

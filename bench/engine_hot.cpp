@@ -92,7 +92,7 @@ class Engine {
     live_.insert(seq);
     return EventId{seq};
   }
-  EventId schedule_in(des::SimTime dt, Callback fn, int priority = 0) {
+  EventId schedule_in(des::Duration dt, Callback fn, int priority = 0) {
     return schedule_at(now_ + dt, std::move(fn), priority);
   }
   bool cancel(EventId id) {
@@ -118,7 +118,7 @@ class Engine {
 
  private:
   struct Event {
-    des::SimTime time = 0;
+    des::SimTime time{};
     int priority = 0;
     std::uint64_t seq = 0;
     Callback fn;
@@ -145,7 +145,7 @@ class Engine {
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::unordered_set<std::uint64_t> live_;
   std::unordered_set<std::uint64_t> cancelled_;
-  des::SimTime now_ = 0;
+  des::SimTime now_{};
   std::uint64_t next_seq_ = 1;
   std::uint64_t processed_ = 0;
 };
@@ -188,7 +188,7 @@ struct MixState {
   }
 
   void arm() {
-    const des::SimTime dt = 1 + static_cast<des::SimTime>(next_rand() & 1023);
+    const des::Duration dt{1 + static_cast<std::int64_t>(next_rand() & 1023)};
     Payload payload;
     engine.schedule_in(dt, [this, payload] {
       (void)payload;
@@ -196,10 +196,10 @@ struct MixState {
         engine.cancel(timer);
         timer = {};
       }
-      engine.schedule_in(0, [] {});
+      engine.schedule_in(des::Duration{}, [] {});
       ++fired;
       if ((fired & 3) == 0) {
-        timer = engine.schedule_in(100000, [] {});
+        timer = engine.schedule_in(des::Duration{100000}, [] {});
       }
       if (--budget > 0) arm();
     });
@@ -269,7 +269,7 @@ struct Train {
     net::Packet packet;
     packet.src_node = src;
     packet.dst_node = dst;
-    packet.wire_bytes = 1500;
+    packet.wire_bytes = net::Bytes{1500};
     network->send(
         packet,
         [this](const net::Packet&) {
@@ -331,7 +331,7 @@ constexpr int kScalingPartitions = 8;
 constexpr int kScalingChainsPerPartition = 64;
 /// Window size: chains fire every 1..1024 ticks, so each partition executes
 /// a few hundred events per window and the barrier cost is amortised.
-constexpr des::SimTime kScalingLookahead = 4096;
+constexpr des::Duration kScalingLookahead{4096};
 
 struct PartitionChain {
   des::PartitionSet& sim;
@@ -346,18 +346,19 @@ struct PartitionChain {
   }
 
   void arm() {
-    des::Engine& engine = sim.engine(part);
-    const des::SimTime dt = 1 + static_cast<des::SimTime>(next_rand() & 1023);
+    des::Engine& engine = sim.engine(des::PartitionId{part});
+    const des::Duration dt{1 + static_cast<std::int64_t>(next_rand() & 1023)};
     Payload payload;
     engine.schedule_in(dt, [this, payload] {
       (void)payload;
       ++fired;
-      sim.engine(part).schedule_in(0, [] {});
+      sim.engine(des::PartitionId{part}).schedule_in(des::Duration{}, [] {});
       if ((fired & 7) == 0) {
         // Cross-partition ping to the ring neighbour, one lookahead out —
         // the trunk-hop pattern the partitioned Network generates.
         const int to = (part + 1) % kScalingPartitions;
-        sim.post(part, to, sim.engine(part).now() + kScalingLookahead,
+        sim.post(des::PartitionId{part}, des::PartitionId{to},
+                 sim.engine(des::PartitionId{part}).now() + kScalingLookahead,
                  [] {});
       }
       if (--budget > 0) arm();

@@ -20,7 +20,7 @@
 int main() {
   benchutil::banner("fault tail", "injected loss vs the 200 ms RTO mode");
   const int reps = benchutil::scaled(500, 80);
-  const net::Bytes size = 1024;
+  const net::Bytes size{1024};
   const double loss_rate = 0.02;
 
   auto opt = benchutil::bench_options(2, 1, reps);
@@ -49,7 +49,7 @@ int main() {
   const double ratio = lossless_median > 0 ? mode_s / lossless_median : 0.0;
 
   std::printf("\n# size=%llu B, loss_rate=%.3f, rto=%.0f ms, seed %llu\n",
-              static_cast<unsigned long long>(size), loss_rate, rto_s * 1e3,
+              static_cast<unsigned long long>(size.count()), loss_rate, rto_s * 1e3,
               static_cast<unsigned long long>(opt.seed));
   std::printf("run,median_us,p99_us,p999_us,max_us,retransmits,timeouts,"
               "faults,messages\n");
@@ -82,7 +82,7 @@ int main() {
   for (const auto& bin : lossy.oneway.bins()) {
     if (bin.count == 0) continue;
     std::printf("%llu,lossy,%.1f,%.1f,%llu\n",
-                static_cast<unsigned long long>(size), bin.lo * 1e6,
+                static_cast<unsigned long long>(size.count()), bin.lo * 1e6,
                 bin.hi * 1e6, static_cast<unsigned long long>(bin.count));
   }
 
@@ -109,7 +109,7 @@ int main() {
         "  \"faults_injected\": %llu,\n"
         "  \"pass\": %s\n"
         "}\n",
-        static_cast<unsigned long long>(size), loss_rate, rto_s * 1e3,
+        static_cast<unsigned long long>(size.count()), loss_rate, rto_s * 1e3,
         lossless_median * 1e6, mode_s * 1e6, ratio,
         lossy_dist.quantile(0.99) * 1e6, lossy_dist.quantile(0.999) * 1e6,
         static_cast<unsigned long long>(lossy.tcp_retransmits),

@@ -6,7 +6,7 @@
 int main() {
   benchutil::banner("Figure 1", "MPI_Isend small messages, average times");
   const int reps = benchutil::scaled(200, 40);
-  const std::vector<net::Bytes> sizes{0, 64, 128, 256, 512, 1024};
+  const std::vector<net::Bytes> sizes{net::Bytes{0},net::Bytes{64},net::Bytes{128},net::Bytes{256},net::Bytes{512},net::Bytes{1024}};
   struct Config {
     int nodes;
     int ppn;
@@ -25,7 +25,7 @@ int main() {
       const auto& s = result.oneway.summary();
       const auto dist = result.distribution();
       std::printf("%dx%d,%llu,%.1f,%.1f,%.1f,%.1f,%llu\n", config.nodes,
-                  config.ppn, static_cast<unsigned long long>(sizes[i]),
+                  config.ppn, static_cast<unsigned long long>(sizes[i].count()),
                   s.min() * 1e6, s.mean() * 1e6, dist.quantile(0.95) * 1e6,
                   s.max() * 1e6,
                   static_cast<unsigned long long>(result.messages));
@@ -35,7 +35,7 @@ int main() {
   // The paper's "min" series: best observed time across configurations.
   for (std::size_t i = 0; i < sizes.size(); ++i) {
     std::printf("min,%llu,%.1f,%.1f,%.1f,%.1f,0\n",
-                static_cast<unsigned long long>(sizes[i]), min_curve[i],
+                static_cast<unsigned long long>(sizes[i].count()), min_curve[i],
                 min_curve[i], min_curve[i], min_curve[i]);
   }
   return 0;

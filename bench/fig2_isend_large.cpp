@@ -8,8 +8,7 @@
 int main() {
   benchutil::banner("Figure 2", "MPI_Isend large messages, average times");
   const int reps = benchutil::scaled(80, 16);
-  const std::vector<net::Bytes> sizes{1024,  2048,  4096,   8192,  16384,
-                                      32768, 65536, 131072, 262144};
+  const std::vector<net::Bytes> sizes{net::Bytes{1024},net::Bytes{2048},net::Bytes{4096},net::Bytes{8192},net::Bytes{16384},net::Bytes{32768},net::Bytes{65536},net::Bytes{131072},net::Bytes{262144}};
   struct Config {
     int nodes;
     int ppn;
@@ -25,9 +24,9 @@ int main() {
           benchutil::bench_options(config.nodes, config.ppn, reps), size);
       const auto& s = result.oneway.summary();
       std::printf("%dx%d,%llu,%.1f,%.1f,%.1f,%.1f,%llu,%llu\n", config.nodes,
-                  config.ppn, static_cast<unsigned long long>(size),
+                  config.ppn, static_cast<unsigned long long>(size.count()),
                   s.min() * 1e6, s.mean() * 1e6, s.max() * 1e6,
-                  static_cast<double>(size) * 8.0 / s.mean() / 1e6,
+                  size.to_double() * 8.0 / s.mean() / 1e6,
                   static_cast<unsigned long long>(result.tcp_timeouts),
                   static_cast<unsigned long long>(result.link_drops));
     }

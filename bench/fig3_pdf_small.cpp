@@ -9,7 +9,7 @@
 int main() {
   benchutil::banner("Figure 3", "MPI_Isend PDFs, 64x2, small messages");
   const int reps = benchutil::scaled(400, 50);
-  const std::vector<net::Bytes> sizes{0, 256, 512, 1024};
+  const std::vector<net::Bytes> sizes{net::Bytes{0},net::Bytes{256},net::Bytes{512},net::Bytes{1024}};
 
   for (const net::Bytes size : sizes) {
     auto opt = benchutil::bench_options(64, 2, reps);
@@ -20,14 +20,14 @@ int main() {
     const auto fit = stats::fit_best(dist);
     std::printf("\n# size=%llu B: min=%.1f avg=%.1f p99=%.1f max=%.1f us; "
                 "best fit %s (KS %.3f)\n",
-                static_cast<unsigned long long>(size), s.min() * 1e6,
+                static_cast<unsigned long long>(size.count()), s.min() * 1e6,
                 s.mean() * 1e6, dist.quantile(0.99) * 1e6, s.max() * 1e6,
                 stats::to_string(fit.distribution.family).c_str(), fit.ks);
     std::printf("size,bin_lo_us,bin_hi_us,density_per_us\n");
     for (const auto& bin : result.oneway.bins()) {
       if (bin.count == 0) continue;
       std::printf("%llu,%.1f,%.1f,%.6f\n",
-                  static_cast<unsigned long long>(size), bin.lo * 1e6,
+                  static_cast<unsigned long long>(size.count()), bin.lo * 1e6,
                   bin.hi * 1e6, bin.density * 1e-6);
     }
   }

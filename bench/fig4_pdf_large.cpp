@@ -8,7 +8,7 @@
 int main() {
   benchutil::banner("Figure 4", "MPI_Isend PDFs, 64x1, large messages");
   const int reps = benchutil::scaled(120, 20);
-  const std::vector<net::Bytes> sizes{16384, 65536, 262144};
+  const std::vector<net::Bytes> sizes{net::Bytes{16384},net::Bytes{65536},net::Bytes{262144}};
 
   for (const net::Bytes size : sizes) {
     auto opt = benchutil::bench_options(64, 1, reps);
@@ -18,7 +18,7 @@ int main() {
     const auto dist = result.distribution();
     std::printf("\n# size=%llu B: min=%.0f avg=%.0f p99=%.0f max=%.0f us; "
                 "tcp timeouts=%llu fast_retx=%llu drops=%llu\n",
-                static_cast<unsigned long long>(size), s.min() * 1e6,
+                static_cast<unsigned long long>(size.count()), s.min() * 1e6,
                 s.mean() * 1e6, dist.quantile(0.99) * 1e6, s.max() * 1e6,
                 static_cast<unsigned long long>(result.tcp_timeouts),
                 static_cast<unsigned long long>(result.tcp_fast_retransmits),
@@ -27,7 +27,7 @@ int main() {
     for (const auto& bin : result.oneway.bins()) {
       if (bin.count == 0) continue;
       std::printf("%llu,%.0f,%.0f,%llu\n",
-                  static_cast<unsigned long long>(size), bin.lo * 1e6,
+                  static_cast<unsigned long long>(size.count()), bin.lo * 1e6,
                   bin.hi * 1e6, static_cast<unsigned long long>(bin.count));
     }
   }

@@ -17,7 +17,7 @@ namespace jacobi {
 
 constexpr int kXSize = 256;
 constexpr double kSerialSeconds = 3.24;  // measured full-grid iteration cost
-constexpr net::Bytes kHaloBytes = kXSize * sizeof(float);
+constexpr net::Bytes kHaloBytes{kXSize * sizeof(float)};
 
 /// Figure 5 annotations for one iteration (the loop is applied by the
 /// caller so iteration counts stay flexible).
@@ -66,7 +66,7 @@ inline const char* annotations() {
 inline void run_rank(smpi::Comm& comm, int iterations) {
   const int p = comm.size();
   const int r = comm.rank();
-  std::vector<std::byte> halo(kHaloBytes);
+  std::vector<std::byte> halo(kHaloBytes.count());
   for (int it = 0; it < iterations; ++it) {
     if (r % 2 == 0) {
       if (r != 0) comm.send(halo, r - 1, 0);

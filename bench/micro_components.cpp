@@ -20,7 +20,7 @@ void BM_EngineScheduleRun(benchmark::State& state) {
   for (auto _ : state) {
     des::Engine engine;
     for (int i = 0; i < 1024; ++i) {
-      engine.schedule_at(i, [] {});
+      engine.schedule_at(des::SimTime{i}, [] {});
     }
     engine.run();
     benchmark::DoNotOptimize(engine.processed());
@@ -64,9 +64,9 @@ void BM_LinkPacketForwarding(benchmark::State& state) {
     des::Engine engine;
     net::Link link{engine, "l",
                    net::LinkParams{net::Rate::mbit(100),
-                                   des::from_micros(1), 1 << 20}};
+                                   des::from_micros(1), net::Bytes{1 << 20}}};
     net::Packet packet;
-    packet.wire_bytes = 1538;
+    packet.wire_bytes = net::Bytes{1538};
     for (int i = 0; i < 512; ++i) {
       link.submit(packet, [](const net::Packet&) {}, nullptr);
     }
@@ -78,7 +78,7 @@ void BM_LinkPacketForwarding(benchmark::State& state) {
 BENCHMARK(BM_LinkPacketForwarding);
 
 void BM_TransportMessage(benchmark::State& state) {
-  const net::Bytes bytes = static_cast<net::Bytes>(state.range(0));
+  const net::Bytes bytes{static_cast<std::uint64_t>(state.range(0))};
   for (auto _ : state) {
     des::Engine engine;
     net::Network network{engine, net::perseus(2)};
@@ -87,16 +87,16 @@ void BM_TransportMessage(benchmark::State& state) {
     engine.run();
     benchmark::DoNotOptimize(transport.messages_delivered());
   }
-  state.SetBytesProcessed(state.iterations() * static_cast<long>(bytes));
+  state.SetBytesProcessed(state.iterations() * static_cast<long>(bytes.count()));
 }
 BENCHMARK(BM_TransportMessage)->Arg(1024)->Arg(65536);
 
 void BM_PevpmPingPongIterations(benchmark::State& state) {
   // VM throughput: modelled ping-pong iterations evaluated per second.
   mpibench::DistributionTable table;
-  table.insert(mpibench::OpKind::kPtpOneWay, 1024, 1,
+  table.insert(mpibench::OpKind::kPtpOneWay, net::Bytes{1024}, 1,
                stats::EmpiricalDistribution::constant(150e-6));
-  table.insert(mpibench::OpKind::kPtpSender, 1024, 1,
+  table.insert(mpibench::OpKind::kPtpSender, net::Bytes{1024}, 1,
                stats::EmpiricalDistribution::constant(25e-6));
   const pevpm::Model model = pevpm::parse_model(R"(
 loop 1000 {

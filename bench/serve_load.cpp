@@ -67,7 +67,7 @@ std::string make_table_text() {
   opt.repetitions = benchutil::quick() ? 40 : 80;
   opt.warmup = 8;
   opt.seed = 20260806;
-  const std::vector<net::Bytes> sizes{1024};
+  const std::vector<net::Bytes> sizes{net::Bytes{1024}};
   const std::vector<mpibench::Config> configs{{2, 1}, {4, 1}};
   const auto table = mpibench::measure_isend_table(opt, sizes, configs);
   std::ostringstream out;

@@ -8,7 +8,7 @@ int main() {
   benchutil::banner("Table A (in-text)",
                     "1 KB contention slowdown vs 2x1 baseline");
   const int reps = benchutil::scaled(300, 50);
-  const net::Bytes size = 1024;
+  const net::Bytes size{1024};
 
   const auto base =
       mpibench::run_isend(benchutil::bench_options(2, 1, reps), size);

@@ -54,10 +54,10 @@ TrunkStats run_config(int nodes, net::Bytes size, int reps) {
   TrunkStats out;
   if (ro.cluster.switch_count() > 1) {
     const net::Link& trunk = rt.network().trunk(0);
-    out.offered_gbit = static_cast<double>(trunk.bytes_sent()) * 8.0 /
+    out.offered_gbit = trunk.bytes_sent().to_double() * 8.0 /
                        des::to_seconds(rt.elapsed()) / 1e9;
-    out.busy_fraction = static_cast<double>(trunk.busy_time()) /
-                        static_cast<double>(rt.elapsed());
+    out.busy_fraction = static_cast<double>(trunk.busy_time().ns()) /
+                        static_cast<double>(rt.elapsed().ns());
   }
   out.drops = rt.network().total_drops();
   out.timeouts = rt.transport().timeouts();
@@ -71,7 +71,7 @@ TrunkStats run_config(int nodes, net::Bytes size, int reps) {
 int main() {
   benchutil::banner("Table D (in-text)", "stack trunk saturation onset");
   const int reps = benchutil::scaled(80, 16);
-  const net::Bytes size = 65536;
+  const net::Bytes size{65536};
 
   std::printf(
       "nodes,trunk_carried_gbit,trunk_busy_frac,drops,tcp_timeouts,"

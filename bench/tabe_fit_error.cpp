@@ -66,7 +66,7 @@ void extrapolation_errors(const scaling::ScalingModel& model,
   const stats::EmpiricalDistribution* dist = actual.exact(op, size, level);
   if (dist == nullptr || !model.covers(op)) return;
   const auto predicted =
-      model.quantiles(op, static_cast<double>(size), level);
+      model.quantiles(op, size.to_double(), level);
   for (int t = 0; t < scaling::ScalingModel::kTracks; ++t) {
     const double truth =
         dist->quantile(scaling::ScalingModel::track_quantile(t));
@@ -179,7 +179,7 @@ int main(int argc, char** argv) {
   const int reps = benchutil::scaled(160, 48);
 
   // The training sweep: the size x config grid the model is fitted on.
-  const std::vector<net::Bytes> grid_sizes{256, 1024, 4096, 16384};
+  const std::vector<net::Bytes> grid_sizes{net::Bytes{256}, net::Bytes{1024}, net::Bytes{4096}, net::Bytes{16384}};
   const std::vector<mpibench::Config> grid_configs{{2, 1}, {4, 1}, {8, 1},
                                                    {16, 1}};
   const auto table = mpibench::measure_isend_table(
@@ -210,10 +210,10 @@ int main(int argc, char** argv) {
 
   // Ground truth at points outside the grid: 4x the largest message size,
   // and 2x the largest process count.
-  const std::vector<net::Bytes> big_sizes{65536};
+  const std::vector<net::Bytes> big_sizes{net::Bytes{65536}};
   const auto size_truth = mpibench::measure_isend_table(
       benchutil::bench_options(2, 1, reps), big_sizes, grid_configs, 4);
-  const std::vector<net::Bytes> mid_sizes{1024, 4096};
+  const std::vector<net::Bytes> mid_sizes{net::Bytes{1024}, net::Bytes{4096}};
   const std::vector<mpibench::Config> big_configs{{32, 1}};
   const auto procs_truth = mpibench::measure_isend_table(
       benchutil::bench_options(2, 1, reps), mid_sizes, big_configs, 2);

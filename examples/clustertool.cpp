@@ -46,8 +46,8 @@ int main(int argc, char** argv) {
   bench.cluster.nodes = 2;
   bench.repetitions = 120;
   bench.warmup = 16;
-  const auto base_small = mpibench::run_isend(bench, 0);
-  const auto base_large = mpibench::run_isend(bench, 65536);
+  const auto base_small = mpibench::run_isend(bench, net::Bytes{});
+  const auto base_large = mpibench::run_isend(bench, net::Bytes{65536});
   const double latency = base_small.oneway.summary().min();
   const double bandwidth =  // bytes/second from the large-message slope
       65536.0 / (base_large.oneway.summary().min() - latency);
@@ -59,12 +59,12 @@ int main(int argc, char** argv) {
   mpibench::Options loaded = bench;
   loaded.cluster.nodes = std::max(2, nodes);
   for (const net::Bytes size :
-       std::vector<net::Bytes>{0, 256, 1024, 4096, 16384, 65536}) {
+       std::vector<net::Bytes>{net::Bytes{0}, net::Bytes{256}, net::Bytes{1024}, net::Bytes{4096}, net::Bytes{16384}, net::Bytes{65536}}) {
     const auto quiet = mpibench::run_isend(bench, size);
     const auto busy = mpibench::run_isend(loaded, size);
-    const double theory = latency + static_cast<double>(size) / bandwidth;
+    const double theory = latency + size.to_double() / bandwidth;
     std::printf("%10llu %12.1f %12.1f %12.1f %14.1f\n",
-                static_cast<unsigned long long>(size), theory * 1e6,
+                static_cast<unsigned long long>(size.count()), theory * 1e6,
                 quiet.oneway.summary().min() * 1e6,
                 quiet.oneway.summary().mean() * 1e6,
                 busy.oneway.summary().mean() * 1e6);

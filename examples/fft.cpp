@@ -211,14 +211,14 @@ int main(int argc, char** argv) {
   bench.repetitions = 150;
   bench.warmup = 16;
   bench.seed = 5;
-  const net::Bytes block =
-      static_cast<net::Bytes>(kN1 / procs) * (kN2 / procs) * sizeof(Complex);
+  const net::Bytes block{static_cast<std::uint64_t>(kN1 / procs) *
+                         (kN2 / procs) * sizeof(Complex)};
   std::vector<net::Bytes> sizes{block};
   std::vector<mpibench::Config> configs{{2, 1}, {procs, 1}};
   const auto table = mpibench::measure_isend_table(bench, sizes, configs);
 
   const std::string model_text =
-      "param block = " + std::to_string(block) + "\n" +
+      "param block = " + std::to_string(block.count()) + "\n" +
       "param stage1 = " +
       std::to_string(kButterflySeconds * (kN1 / procs) * kN2 *
                      (std::log2(kN2) + 1.0)) + "\n" +

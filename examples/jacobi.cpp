@@ -145,7 +145,7 @@ int main(int argc, char** argv) {
   bench.repetitions = 150;
   bench.warmup = 16;
   bench.seed = 17;
-  std::vector<net::Bytes> sizes{kXSize * sizeof(float)};
+  std::vector<net::Bytes> sizes{net::Bytes{kXSize * sizeof(float)}};
   std::vector<mpibench::Config> configs;
   for (int n = 2; n <= max_procs; n *= 2) configs.push_back({n, 1});
   const auto table = mpibench::measure_isend_table(bench, sizes, configs);

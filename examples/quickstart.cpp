@@ -25,11 +25,11 @@ namespace {
 
 constexpr int kNodes = 8;
 constexpr int kIterations = 200;
-constexpr net::Bytes kMessage = 1024;
+constexpr net::Bytes kMessage{1024};
 
 /// The "application": neighbour ping-pong pairs plus a compute phase.
 void application(smpi::Comm& comm) {
-  std::vector<std::byte> buffer(kMessage);
+  std::vector<std::byte> buffer(kMessage.count());
   const int peer = comm.rank() % 2 == 0 ? comm.rank() + 1 : comm.rank() - 1;
   for (int i = 0; i < kIterations; ++i) {
     if (comm.rank() % 2 == 0) {
@@ -67,14 +67,14 @@ int main() {
   bench.repetitions = 200;
   bench.warmup = 20;
   bench.seed = 7;
-  const std::vector<net::Bytes> sizes{64, kMessage, 4096};
+  const std::vector<net::Bytes> sizes{net::Bytes{64}, kMessage, net::Bytes{4096}};
   const std::vector<mpibench::Config> configs{{2, 1}, {kNodes, 1}};
   const mpibench::DistributionTable table =
       mpibench::measure_isend_table(bench, sizes, configs);
   const auto result = mpibench::run_isend(bench, kMessage);
   const auto& s = result.oneway.summary();
   std::printf("== MPIBench (MPI_Isend, %llu B, %dx1) ==\n",
-              static_cast<unsigned long long>(kMessage), kNodes);
+              static_cast<unsigned long long>(kMessage.count()), kNodes);
   std::printf("min %.1f us   avg %.1f us   max %.1f us   (%llu messages)\n",
               s.min() * 1e6, s.mean() * 1e6, s.max() * 1e6,
               static_cast<unsigned long long>(result.messages));

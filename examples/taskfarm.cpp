@@ -28,8 +28,8 @@
 
 namespace {
 
-constexpr net::Bytes kTaskBytes = 2048;    // work description
-constexpr net::Bytes kResultBytes = 512;   // result payload
+constexpr net::Bytes kTaskBytes{2048};    // work description
+constexpr net::Bytes kResultBytes{512};   // result payload
 constexpr double kMeanTaskSeconds = 0.02;
 
 /// Task durations: deterministic sequence shared by run and model.
@@ -112,7 +112,7 @@ int main(int argc, char** argv) {
   bench.repetitions = 150;
   bench.warmup = 16;
   bench.seed = 3;
-  std::vector<net::Bytes> sizes{4, kResultBytes, kTaskBytes};
+  std::vector<net::Bytes> sizes{net::Bytes{4}, kResultBytes, kTaskBytes};
   std::vector<mpibench::Config> configs{{2, 1}, {procs, 1}};
   const auto table = mpibench::measure_isend_table(bench, sizes, configs);
 
@@ -122,8 +122,8 @@ int main(int argc, char** argv) {
   const std::string model_text =
       "param tasks = " + std::to_string(tasks) + "\n" +
       "param mean_task = " + std::to_string(kMeanTaskSeconds) + "\n" +
-      "param task_bytes = " + std::to_string(kTaskBytes) + "\n" +
-      "param result_bytes = " + std::to_string(kResultBytes) + "\n" + R"(
+      "param task_bytes = " + std::to_string(kTaskBytes.count()) + "\n" +
+      "param result_bytes = " + std::to_string(kResultBytes.count()) + "\n" + R"(
 runon procnum == 0 {
   loop tasks as t {
     message send size = 4 to = t % (numprocs - 1) + 1

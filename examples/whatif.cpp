@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
   bench.repetitions = 150;
   bench.warmup = 16;
   bench.seed = 21;
-  std::vector<net::Bytes> sizes{1024};
+  std::vector<net::Bytes> sizes{net::Bytes{1024}};
   std::vector<mpibench::Config> configs;
   for (int n = 2; n <= max_procs; n *= 2) configs.push_back({n, 1});
   const auto measured = mpibench::measure_isend_table(bench, sizes, configs);

@@ -50,11 +50,16 @@ class ThreadPool {
   /// Blocks until the queue is empty and no task is running.
   void wait() EXCLUDES(mu_);
 
+  /// The pool's queue lock, exposed for lock-order declarations only
+  /// (serve::Service::mu_ is ACQUIRED_BEFORE this). It is a leaf of the
+  /// lock graph: no code path acquires another mutex while holding it.
+  [[nodiscard]] Mutex& mutex() const RETURN_CAPABILITY(mu_) { return mu_; }
+
  private:
   void worker_loop() EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  Mutex mu_;
+  mutable Mutex mu_;
   std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
   CondVar task_ready_;
   CondVar all_done_;

@@ -34,7 +34,8 @@ SimulationResult run_replication(const Model& model, int numprocs,
   SimulationResult result = simulate(model, numprocs, overrides, sampler);
   if (options.tracer != nullptr && options.tracer->enabled()) {
     options.tracer->record(
-        des::from_seconds(result.makespan), trace::Category::kPevpm, rep,
+        des::SimTime::from_seconds(result.makespan), trace::Category::kPevpm,
+        rep,
         "replication makespan_s=" + std::to_string(result.makespan) +
             (result.deadlocked ? " deadlocked" : ""));
   }

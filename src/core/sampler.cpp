@@ -13,7 +13,7 @@ std::size_t DeliverySampler::hash_key(std::int32_t op, net::Bytes bytes,
                                       std::int32_t contention) noexcept {
   // splitmix64 finaliser over the packed key; op and contention are small,
   // so folding them into the high bits keeps distinct keys distinct.
-  std::uint64_t x = bytes ^ (static_cast<std::uint64_t>(op) << 56) ^
+  std::uint64_t x = bytes.count() ^ (static_cast<std::uint64_t>(op) << 56) ^
                     (static_cast<std::uint64_t>(contention) << 40);
   x ^= x >> 30;
   x *= 0xbf58476d1ce4e5b9ULL;
@@ -203,7 +203,7 @@ double DeliverySampler::collective_seconds(CollOp op, net::Bytes bytes,
       rounds = nprocs - 1;
       break;
   }
-  const net::Bytes per_round = op == CollOp::kBarrier ? 0 : bytes;
+  const net::Bytes per_round = op == CollOp::kBarrier ? net::Bytes{} : bytes;
   double total = 0.0;
   for (int i = 0; i < rounds; ++i) {
     total += draw(mpibench::OpKind::kPtpOneWay, per_round, c, std::nullopt);

@@ -102,7 +102,7 @@ class DeliverySampler {
   /// steady-state sampling resolves every key from this index without
   /// touching the table.
   struct Cell {
-    net::Bytes bytes = 0;
+    net::Bytes bytes{};
     std::int32_t op = 0;
     std::int32_t contention = 0;
     stats::EmpiricalDistribution dist;
@@ -114,8 +114,8 @@ class DeliverySampler {
   struct GridExtent {
     bool known = false;
     bool measured = false;
-    net::Bytes min_size = 0;
-    net::Bytes max_size = 0;
+    net::Bytes min_size{};
+    net::Bytes max_size{};
     int min_contention = 0;
     int max_contention = 0;
   };

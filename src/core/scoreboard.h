@@ -23,7 +23,7 @@ struct TransitMessage {
   std::uint64_t id = 0;
   int src = -1;
   int dst = -1;
-  net::Bytes bytes = 0;
+  net::Bytes bytes{};
   double depart = 0.0;        ///< sender clock at the send directive
   double arrival = -1.0;      ///< assigned during a match phase
   bool arrival_known = false;

@@ -18,7 +18,7 @@ mpibench::DistributionTable make_theoretical_table(
     for (const net::Bytes bytes : sizes) {
       const double base =
           (machine.latency_s +
-           static_cast<double>(bytes) / machine.bandwidth_Bps) *
+           bytes.to_double() / machine.bandwidth_Bps) *
           scale;
       // Right-skewed noise with the base as a hard minimum: multiply the
       // excess over the minimum by a lognormal factor.

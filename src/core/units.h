@@ -1,0 +1,368 @@
+// Strong unit and identifier types for the whole tree.
+//
+// Every quantity the simulator computes with — instants, durations, byte
+// counts, ranks, partition indices, stream sequence numbers — is a wrapped
+// integer with only the dimensionally valid operators defined:
+//
+//   SimTime  - SimTime  -> Duration        SimTime + SimTime   (no such op)
+//   SimTime  + Duration -> SimTime         SimTime + Bytes     (no such op)
+//   Duration + Duration -> Duration        Rank    = PartitionId  (rejected)
+//   SeqNo    + Bytes    -> SeqNo           SeqNo   - SeqNo     -> Bytes
+//
+// A unit mix-up or an identifier swap is therefore a compile error, not a
+// silently-wrong prediction (tests/compile_fail/ proves the rejections
+// stay rejected). The wrappers are zero-overhead: trivially copyable,
+// same size and codegen as the raw integer, constexpr throughout.
+//
+// Floating-point values exist only at the declared conversion boundaries —
+// the cost model's microsecond distributions and the config/report
+// surfaces — through the tagged constructors/extractors below
+// (Duration::from_micros, to_micros, ...). Conversions round half away
+// from zero (symmetric in sign) and saturate at kNever / the integer
+// range, so the kNever sentinel survives a to/from round trip.
+//
+// Checked mode (PEVPM_UNITS_CHECKED, default on outside Release builds):
+// arithmetic that would overflow aborts with a diagnostic instead of
+// wrapping. Release builds compile the checks away; the operations are
+// then exactly the raw integer ops.
+#pragma once
+
+#include <compare>
+#include <concepts>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#ifndef PEVPM_UNITS_CHECKED
+#define PEVPM_UNITS_CHECKED 0
+#endif
+
+namespace units {
+
+namespace detail {
+
+[[noreturn]] inline void overflow_panic(const char* what) noexcept {
+  std::fprintf(stderr, "units: overflow in %s\n", what);
+  std::abort();
+}
+
+[[nodiscard]] constexpr std::int64_t checked_add(std::int64_t a,
+                                                 std::int64_t b,
+                                                 const char* what) noexcept {
+#if PEVPM_UNITS_CHECKED
+  std::int64_t r = 0;
+  if (__builtin_add_overflow(a, b, &r)) overflow_panic(what);
+  return r;
+#else
+  (void)what;
+  return a + b;
+#endif
+}
+
+[[nodiscard]] constexpr std::int64_t checked_sub(std::int64_t a,
+                                                 std::int64_t b,
+                                                 const char* what) noexcept {
+#if PEVPM_UNITS_CHECKED
+  std::int64_t r = 0;
+  if (__builtin_sub_overflow(a, b, &r)) overflow_panic(what);
+  return r;
+#else
+  (void)what;
+  return a - b;
+#endif
+}
+
+[[nodiscard]] constexpr std::int64_t checked_mul(std::int64_t a,
+                                                 std::int64_t b,
+                                                 const char* what) noexcept {
+#if PEVPM_UNITS_CHECKED
+  std::int64_t r = 0;
+  if (__builtin_mul_overflow(a, b, &r)) overflow_panic(what);
+  return r;
+#else
+  (void)what;
+  return a * b;
+#endif
+}
+
+[[nodiscard]] constexpr std::uint64_t checked_usub(std::uint64_t a,
+                                                   std::uint64_t b,
+                                                   const char* what) noexcept {
+#if PEVPM_UNITS_CHECKED
+  if (b > a) overflow_panic(what);
+#else
+  (void)what;
+#endif
+  return a - b;
+}
+
+inline constexpr std::int64_t kInt64Max = INT64_MAX;
+/// INT64_MAX as a double rounds up to 2^63; any double >= this saturates.
+inline constexpr double kInt64MaxAsDouble = 9223372036854775808.0;
+
+/// Symmetric (half away from zero) rounding of a nanosecond-valued double,
+/// saturating at the int64 range so kNever round-trips through the
+/// floating-point boundary instead of overflowing.
+[[nodiscard]] constexpr std::int64_t round_saturate_ns(double ns) noexcept {
+  if (ns >= kInt64MaxAsDouble) return kInt64Max;
+  if (ns <= -kInt64MaxAsDouble) return INT64_MIN;
+  return static_cast<std::int64_t>(ns < 0 ? ns - 0.5 : ns + 0.5);
+}
+
+}  // namespace detail
+
+/// A span of virtual time, in integer nanoseconds. Signed: differences of
+/// instants and backoff arithmetic are well-defined.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  explicit constexpr Duration(std::int64_t ns) noexcept : ns_{ns} {}
+  Duration(std::floating_point auto) = delete;  ///< no unit-less floats
+
+  [[nodiscard]] static constexpr Duration from_ns(std::int64_t ns) noexcept {
+    return Duration{ns};
+  }
+  [[nodiscard]] static constexpr Duration from_micros(double us) noexcept {
+    return Duration{detail::round_saturate_ns(us * 1e3)};
+  }
+  [[nodiscard]] static constexpr Duration from_millis(double ms) noexcept {
+    return Duration{detail::round_saturate_ns(ms * 1e6)};
+  }
+  [[nodiscard]] static constexpr Duration from_seconds(double s) noexcept {
+    return Duration{detail::round_saturate_ns(s * 1e9)};
+  }
+
+  [[nodiscard]] constexpr std::int64_t ns() const noexcept { return ns_; }
+  [[nodiscard]] constexpr double to_micros() const noexcept {
+    return static_cast<double>(ns_) * 1e-3;
+  }
+  [[nodiscard]] constexpr double to_millis() const noexcept {
+    return static_cast<double>(ns_) * 1e-6;
+  }
+  [[nodiscard]] constexpr double to_seconds() const noexcept {
+    return static_cast<double>(ns_) * 1e-9;
+  }
+
+  /// Scales by a dimensionless factor with the boundary rounding rules
+  /// (the jitter model's multiplicative noise).
+  [[nodiscard]] constexpr Duration scaled_by(double factor) const noexcept {
+    return Duration{
+        detail::round_saturate_ns(static_cast<double>(ns_) * factor)};
+  }
+
+  friend constexpr auto operator<=>(Duration, Duration) noexcept = default;
+
+  friend constexpr Duration operator+(Duration a, Duration b) noexcept {
+    return Duration{detail::checked_add(a.ns_, b.ns_, "Duration + Duration")};
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) noexcept {
+    return Duration{detail::checked_sub(a.ns_, b.ns_, "Duration - Duration")};
+  }
+  friend constexpr Duration operator-(Duration a) noexcept {
+    return Duration{detail::checked_sub(0, a.ns_, "-Duration")};
+  }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) noexcept {
+    return Duration{detail::checked_mul(a.ns_, k, "Duration * int")};
+  }
+  friend constexpr Duration operator*(std::int64_t k, Duration a) noexcept {
+    return a * k;
+  }
+  friend constexpr Duration operator/(Duration a, std::int64_t k) noexcept {
+    return Duration{a.ns_ / k};
+  }
+  /// Ratio of two durations (how many lookaheads fit in a window).
+  friend constexpr std::int64_t operator/(Duration a, Duration b) noexcept {
+    return a.ns_ / b.ns_;
+  }
+  constexpr Duration& operator+=(Duration d) noexcept {
+    ns_ = detail::checked_add(ns_, d.ns_, "Duration += Duration");
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration d) noexcept {
+    ns_ = detail::checked_sub(ns_, d.ns_, "Duration -= Duration");
+    return *this;
+  }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// An instant of virtual time: integer nanoseconds since simulation start.
+/// Instants are points, not amounts — they add with Duration only, and the
+/// difference of two instants is a Duration.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  explicit constexpr SimTime(std::int64_t ns) noexcept : ns_{ns} {}
+  SimTime(std::floating_point auto) = delete;  ///< no unit-less floats
+
+  [[nodiscard]] static constexpr SimTime from_ns(std::int64_t ns) noexcept {
+    return SimTime{ns};
+  }
+  [[nodiscard]] static constexpr SimTime from_micros(double us) noexcept {
+    return SimTime{detail::round_saturate_ns(us * 1e3)};
+  }
+  [[nodiscard]] static constexpr SimTime from_seconds(double s) noexcept {
+    return SimTime{detail::round_saturate_ns(s * 1e9)};
+  }
+
+  [[nodiscard]] constexpr std::int64_t ns() const noexcept { return ns_; }
+  [[nodiscard]] constexpr double to_micros() const noexcept {
+    return static_cast<double>(ns_) * 1e-3;
+  }
+  [[nodiscard]] constexpr double to_millis() const noexcept {
+    return static_cast<double>(ns_) * 1e-6;
+  }
+  [[nodiscard]] constexpr double to_seconds() const noexcept {
+    return static_cast<double>(ns_) * 1e-9;
+  }
+  /// Offset from the simulation start (t - SimTime{}).
+  [[nodiscard]] constexpr Duration since_start() const noexcept {
+    return Duration{ns_};
+  }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) noexcept = default;
+
+  friend constexpr SimTime operator+(SimTime t, Duration d) noexcept {
+    return SimTime{detail::checked_add(t.ns_, d.ns(), "SimTime + Duration")};
+  }
+  friend constexpr SimTime operator+(Duration d, SimTime t) noexcept {
+    return t + d;
+  }
+  friend constexpr SimTime operator-(SimTime t, Duration d) noexcept {
+    return SimTime{detail::checked_sub(t.ns_, d.ns(), "SimTime - Duration")};
+  }
+  friend constexpr Duration operator-(SimTime a, SimTime b) noexcept {
+    return Duration{detail::checked_sub(a.ns_, b.ns_, "SimTime - SimTime")};
+  }
+  constexpr SimTime& operator+=(Duration d) noexcept {
+    ns_ = detail::checked_add(ns_, d.ns(), "SimTime += Duration");
+    return *this;
+  }
+  constexpr SimTime& operator-=(Duration d) noexcept {
+    ns_ = detail::checked_sub(ns_, d.ns(), "SimTime -= Duration");
+    return *this;
+  }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// "Not scheduled / no deadline": later than every reachable instant.
+/// Saturates through the floating-point boundary (from_micros(to_micros(
+/// kNever)) == kNever) and must not participate in arithmetic — checked
+/// mode aborts on kNever + anything nonzero.
+inline constexpr SimTime kNever{detail::kInt64Max};
+/// Duration counterpart ("no timeout", "infinite lookahead").
+inline constexpr Duration kForever{detail::kInt64Max};
+
+/// A byte count (message size, queue backlog, window). Unsigned, like the
+/// stream offsets it measures; subtraction is underflow-checked.
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  explicit constexpr Bytes(std::uint64_t n) noexcept : n_{n} {}
+  Bytes(std::floating_point auto) = delete;  ///< no unit-less floats
+
+  [[nodiscard]] static constexpr Bytes of(std::uint64_t n) noexcept {
+    return Bytes{n};
+  }
+  [[nodiscard]] constexpr std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] constexpr double to_double() const noexcept {
+    return static_cast<double>(n_);
+  }
+
+  friend constexpr auto operator<=>(Bytes, Bytes) noexcept = default;
+
+  friend constexpr Bytes operator+(Bytes a, Bytes b) noexcept {
+    return Bytes{a.n_ + b.n_};
+  }
+  friend constexpr Bytes operator-(Bytes a, Bytes b) noexcept {
+    return Bytes{detail::checked_usub(a.n_, b.n_, "Bytes - Bytes")};
+  }
+  friend constexpr Bytes operator*(Bytes a, std::uint64_t k) noexcept {
+    return Bytes{a.n_ * k};
+  }
+  friend constexpr Bytes operator*(std::uint64_t k, Bytes a) noexcept {
+    return a * k;
+  }
+  /// How many `b`-sized units fit (segment counts); truncating.
+  friend constexpr std::uint64_t operator/(Bytes a, Bytes b) noexcept {
+    return a.n_ / b.n_;
+  }
+  friend constexpr Bytes operator%(Bytes a, Bytes b) noexcept {
+    return Bytes{a.n_ % b.n_};
+  }
+  constexpr Bytes& operator+=(Bytes b) noexcept {
+    n_ += b.n_;
+    return *this;
+  }
+  constexpr Bytes& operator-=(Bytes b) noexcept {
+    n_ = detail::checked_usub(n_, b.n_, "Bytes -= Bytes");
+    return *this;
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+};
+
+/// An MPI process rank. Pure identifier: no arithmetic, only identity and
+/// ordering — and, critically, not interconvertible with PartitionId or a
+/// node index, so a swapped argument fails to compile.
+class Rank {
+ public:
+  constexpr Rank() = default;
+  explicit constexpr Rank(int r) noexcept : r_{r} {}
+
+  [[nodiscard]] constexpr int value() const noexcept { return r_; }
+  friend constexpr auto operator<=>(Rank, Rank) noexcept = default;
+
+ private:
+  int r_ = -1;
+};
+
+/// Index of a logical process (partition) of the conservative parallel
+/// engine. Identifier-only, distinct from Rank and node indices.
+class PartitionId {
+ public:
+  constexpr PartitionId() = default;
+  explicit constexpr PartitionId(int p) noexcept : p_{p} {}
+
+  [[nodiscard]] constexpr int value() const noexcept { return p_; }
+  friend constexpr auto operator<=>(PartitionId, PartitionId) noexcept =
+      default;
+
+ private:
+  int p_ = 0;
+};
+
+/// A TCP-lite stream sequence number: an offset into a byte stream.
+/// Offsets advance by byte counts (SeqNo + Bytes) and their differences
+/// are byte counts (SeqNo - SeqNo) — never connection or packet ids.
+class SeqNo {
+ public:
+  constexpr SeqNo() = default;
+  explicit constexpr SeqNo(std::uint64_t v) noexcept : v_{v} {}
+
+  [[nodiscard]] constexpr std::uint64_t value() const noexcept { return v_; }
+  friend constexpr auto operator<=>(SeqNo, SeqNo) noexcept = default;
+
+  friend constexpr SeqNo operator+(SeqNo s, Bytes b) noexcept {
+    return SeqNo{s.v_ + b.count()};
+  }
+  friend constexpr SeqNo operator-(SeqNo s, Bytes b) noexcept {
+    return SeqNo{detail::checked_usub(s.v_, b.count(), "SeqNo - Bytes")};
+  }
+  friend constexpr Bytes operator-(SeqNo a, SeqNo b) noexcept {
+    return Bytes{detail::checked_usub(a.v_, b.v_, "SeqNo - SeqNo")};
+  }
+  constexpr SeqNo& operator+=(Bytes b) noexcept {
+    v_ += b.count();
+    return *this;
+  }
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+}  // namespace units

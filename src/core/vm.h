@@ -85,7 +85,7 @@ class Vm {
   struct Claim {
     MessageRef message;      ///< may be null until a sender catches up
     int src = -1;
-    net::Bytes bytes = 0;
+    net::Bytes bytes{};
     bool pending = true;
   };
 
@@ -108,7 +108,7 @@ class Vm {
     long coll_seq = 0;            ///< collectives completed so far
     bool coll_ready = false;      ///< resolution assigned an exit time
     double coll_exit = 0.0;
-    net::Bytes coll_bytes = 0;
+    net::Bytes coll_bytes{};
 
     ProcessReport report;
   };

@@ -86,8 +86,8 @@ class Engine {
 
   /// Schedules `fn` at now + dt.
   template <typename F>
-  EventId schedule_in(SimTime dt, F&& fn, int priority = 0) {
-    if (dt < 0) {
+  EventId schedule_in(Duration dt, F&& fn, int priority = 0) {
+    if (dt < Duration{}) {
       throw std::invalid_argument{"Engine::schedule_in: negative delay"};
     }
     return schedule_at(now_ + dt, std::forward<F>(fn), priority);
@@ -177,8 +177,8 @@ class Engine {
   /// without touching the slot pool. `sched` is now() at schedule time
   /// (locally monotone with seq, so a no-op for purely local runs).
   struct HeapEntry {
-    SimTime time = 0;
-    SimTime sched = 0;
+    SimTime time{};
+    SimTime sched{};
     std::uint64_t seq = 0;
     std::uint32_t slot = 0;
     std::int32_t priority = 0;
@@ -224,8 +224,8 @@ class Engine {
   std::size_t fifo_head_ = 0;
   std::uint32_t free_head_ = kNil;
   std::size_t live_ = 0;  ///< scheduled and not cancelled
-  SimTime now_ = 0;
-  SimTime last_dispatch_ = 0;
+  SimTime now_{};
+  SimTime last_dispatch_{};
   std::uint64_t next_seq_ = 1;
   std::uint64_t processed_ = 0;
 };

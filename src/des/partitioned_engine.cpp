@@ -7,12 +7,12 @@
 
 namespace des {
 
-PartitionSet::PartitionSet(int partitions, SimTime lookahead)
+PartitionSet::PartitionSet(int partitions, Duration lookahead)
     : lookahead_{lookahead} {
   if (partitions < 1) {
     throw std::invalid_argument{"PartitionSet: partitions < 1"};
   }
-  if (partitions > 1 && lookahead <= 0) {
+  if (partitions > 1 && lookahead <= Duration{}) {
     throw std::invalid_argument{"PartitionSet: lookahead must be > 0"};
   }
   for (int p = 0; p < partitions; ++p) engines_.emplace_back();
@@ -29,18 +29,20 @@ PartitionSet::PartitionSet(int partitions, SimTime lookahead)
 // the pooled event queue — no allocation, locks or iostream here; the
 // coordinator-side drain below is equally fenced. Enforced by
 // tools/repro_lint.)
-void PartitionSet::post(int from, int to, SimTime at, SmallFn fn,
-                        int priority) {
-  Engine& source = engines_[from];
+void PartitionSet::post(PartitionId from, PartitionId to, SimTime at,
+                        SmallFn fn, int priority) {
+  Engine& source = engines_[static_cast<std::size_t>(from.value())];
   const SimTime sched = source.now();
   if (from == to) {
-    engines_[to].schedule_injected(at, sched, std::move(fn), priority);
+    engines_[static_cast<std::size_t>(to.value())].schedule_injected(
+        at, sched, std::move(fn), priority);
     return;
   }
   if (at < sched + lookahead_) {
     throw std::logic_error{"PartitionSet::post: event inside the lookahead"};
   }
-  mailbox(from, to).push(QueuedEvent{at, sched, priority, std::move(fn)});
+  mailbox(from.value(), to.value())
+      .push(QueuedEvent{at, sched, priority, std::move(fn)});
 }
 
 void PartitionSet::run_window(int p, SimTime horizon) {
@@ -92,14 +94,14 @@ void PartitionSet::run(unsigned threads) {
       drain_mailboxes();
       const SimTime window = next_time();
       if (window == kNever) return;
-      const SimTime horizon = window + lookahead_ - 1;
+      const SimTime horizon = window + lookahead_ - Duration{1};
       for (int p = 0; p < k; ++p) run_window(p, horizon);
     }
   }
 
   pevpm::WindowBarrier barrier{workers};
   std::atomic<bool> done{false};
-  SimTime horizon = 0;  // written by the coordinator, published by the barrier
+  SimTime horizon{};  // written by the coordinator, published by the barrier
   pevpm::ThreadPool pool{workers - 1};
   for (unsigned worker = 1; worker < workers; ++worker) {
     pool.submit([this, worker, workers, k, &barrier, &done, &horizon] {
@@ -122,7 +124,7 @@ void PartitionSet::run(unsigned threads) {
       barrier.arrive_and_wait();
       break;
     }
-    horizon = window + lookahead_ - 1;
+    horizon = window + lookahead_ - Duration{1};
     barrier.arrive_and_wait();  // publish the window
     for (int p = 0; p < k; p += static_cast<int>(workers)) {
       run_window(p, horizon);
@@ -133,7 +135,7 @@ void PartitionSet::run(unsigned threads) {
 }
 
 SimTime PartitionSet::last_event_time() const noexcept {
-  SimTime t = 0;
+  SimTime t{};
   for (const Engine& engine : engines_) {
     t = std::max(t, engine.last_dispatch_time());
   }

@@ -38,17 +38,20 @@
 #include <vector>
 
 #include "core/parallel.h"
+#include "core/units.h"
 #include "des/engine.h"
 #include "des/smallfn.h"
 #include "des/time.h"
 
 namespace des {
 
+using units::PartitionId;
+
 class PartitionSet {
  public:
   /// `lookahead` is the minimum cross-partition latency in virtual time;
   /// required > 0 when partitions > 1.
-  PartitionSet(int partitions, SimTime lookahead);
+  PartitionSet(int partitions, Duration lookahead);
 
   PartitionSet(const PartitionSet&) = delete;
   PartitionSet& operator=(const PartitionSet&) = delete;
@@ -56,16 +59,21 @@ class PartitionSet {
   [[nodiscard]] int partitions() const noexcept {
     return static_cast<int>(engines_.size());
   }
-  [[nodiscard]] SimTime lookahead() const noexcept { return lookahead_; }
-  [[nodiscard]] Engine& engine(int p) { return engines_.at(p); }
-  [[nodiscard]] const Engine& engine(int p) const { return engines_.at(p); }
+  [[nodiscard]] Duration lookahead() const noexcept { return lookahead_; }
+  [[nodiscard]] Engine& engine(PartitionId p) {
+    return engines_.at(static_cast<std::size_t>(p.value()));
+  }
+  [[nodiscard]] const Engine& engine(PartitionId p) const {
+    return engines_.at(static_cast<std::size_t>(p.value()));
+  }
 
   /// Posts `fn` into partition `to` at absolute time `at`, from partition
   /// `from`'s execution context. Cross-partition posts must respect the
   /// lookahead (`at >= engine(from).now() + lookahead()`); same-partition
   /// posts degenerate to a local injected schedule. The event's tie-break
   /// schedule time is the source partition's now().
-  void post(int from, int to, SimTime at, SmallFn fn, int priority = 0);
+  void post(PartitionId from, PartitionId to, SimTime at, SmallFn fn,
+            int priority = 0);
 
   /// Runs all partitions to completion on up to `threads` threads (caller's
   /// thread plus a core/parallel pool). With one partition this is exactly
@@ -81,8 +89,8 @@ class PartitionSet {
 
  private:
   struct QueuedEvent {
-    SimTime at = 0;
-    SimTime sched = 0;
+    SimTime at{};
+    SimTime sched{};
     std::int32_t priority = 0;
     SmallFn fn;
   };
@@ -103,7 +111,7 @@ class PartitionSet {
   /// addresses and is sized once in the constructor.
   std::deque<Engine> engines_;
   std::vector<std::unique_ptr<pevpm::SpscMailbox<QueuedEvent>>> mailboxes_;
-  SimTime lookahead_ = 0;
+  Duration lookahead_{};
 };
 
 }  // namespace des

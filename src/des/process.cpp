@@ -66,7 +66,7 @@ void Process::schedule_wake(std::uint64_t gen) {
   });
 }
 
-void Process::delay(SimTime dt) {
+void Process::delay(Duration dt) {
   const SimTime until = engine_.now() + dt;
   while (engine_.now() < until) {
     const Engine::EventId id = engine_.schedule_at(

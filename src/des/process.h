@@ -36,7 +36,7 @@ class Process {
 
   /// Creates the process and schedules its first activation at `start_at`.
   Process(Engine& engine, std::string name, std::function<void()> body,
-          SimTime start_at = 0);
+          SimTime start_at = SimTime{});
   ~Process();
 
   Process(const Process&) = delete;
@@ -51,7 +51,7 @@ class Process {
 
   /// Advances this process's virtual time by `dt`. Permits posted by
   /// unpark() during the delay are retained.
-  void delay(SimTime dt);
+  void delay(Duration dt);
 
   /// Blocks until a permit is available, then consumes it.
   void park();

@@ -1,36 +1,52 @@
 // Virtual time for the discrete-event simulation.
 //
-// Integer nanoseconds everywhere: additions are exact, event ordering is
-// total, and runs are bit-reproducible. Floating-point seconds appear only
-// at the cost-model boundary, through the converters below.
+// Integer nanoseconds everywhere, behind the strong types of
+// core/units.h: SimTime is an instant (ns since simulation start),
+// Duration a span, and only dimensionally valid combinations compile.
+// Additions are exact, event ordering is total, and runs are
+// bit-reproducible. Floating-point seconds appear only at the cost-model
+// boundary, through the converters below, which round half away from zero
+// (symmetric for negative spans) and saturate at kNever so the sentinel
+// survives a to/from-micros round trip.
 #pragma once
 
-#include <cstdint>
+#include "core/units.h"
 
 namespace des {
 
-using SimTime = std::int64_t;  ///< nanoseconds since simulation start
+using units::Duration;
+using units::SimTime;
 
-inline constexpr SimTime kNever = INT64_MAX;
+inline constexpr SimTime kNever = units::kNever;
+inline constexpr Duration kForever = units::kForever;
 
-[[nodiscard]] constexpr SimTime from_seconds(double s) noexcept {
-  return static_cast<SimTime>(s * 1e9 + 0.5);
+[[nodiscard]] constexpr Duration from_seconds(double s) noexcept {
+  return Duration::from_seconds(s);
 }
 
-[[nodiscard]] constexpr SimTime from_micros(double us) noexcept {
-  return static_cast<SimTime>(us * 1e3 + 0.5);
+[[nodiscard]] constexpr Duration from_micros(double us) noexcept {
+  return Duration::from_micros(us);
 }
 
+[[nodiscard]] constexpr double to_seconds(Duration d) noexcept {
+  return d.to_seconds();
+}
 [[nodiscard]] constexpr double to_seconds(SimTime t) noexcept {
-  return static_cast<double>(t) * 1e-9;
+  return t.to_seconds();
 }
 
+[[nodiscard]] constexpr double to_micros(Duration d) noexcept {
+  return d.to_micros();
+}
 [[nodiscard]] constexpr double to_micros(SimTime t) noexcept {
-  return static_cast<double>(t) * 1e-3;
+  return t.to_micros();
 }
 
+[[nodiscard]] constexpr double to_millis(Duration d) noexcept {
+  return d.to_millis();
+}
 [[nodiscard]] constexpr double to_millis(SimTime t) noexcept {
-  return static_cast<double>(t) * 1e-6;
+  return t.to_millis();
 }
 
 }  // namespace des

@@ -50,20 +50,22 @@ void Comm::check_peer(int peer, const char* who) const {
 
 
 void Comm::send_raw(std::span<const std::byte> data, int dest, int tag) {
-  wait(runtime_.isend(rank_, data, data.size(), dest, tag));
+  wait(runtime_.isend(rank_, data, net::Bytes{data.size()}, dest, tag));
 }
 
 void Comm::recv_raw(std::span<std::byte> buffer, int source, int tag) {
-  wait(runtime_.irecv(rank_, buffer, buffer.size(), source, tag));
+  wait(runtime_.irecv(rank_, buffer, net::Bytes{buffer.size()}, source, tag));
 }
 
 void Comm::sendrecv_raw(std::span<const std::byte> send_data, int dest,
                         std::span<std::byte> recv_buffer, int source,
                         int tag) {
   const Request recv_req =
-      runtime_.irecv(rank_, recv_buffer, recv_buffer.size(), source, tag);
+      runtime_.irecv(rank_, recv_buffer, net::Bytes{recv_buffer.size()},
+                     source, tag);
   const Request send_req =
-      runtime_.isend(rank_, send_data, send_data.size(), dest, tag);
+      runtime_.isend(rank_, send_data, net::Bytes{send_data.size()}, dest,
+                     tag);
   wait(send_req);
   wait(recv_req);
 }
@@ -75,7 +77,7 @@ void Comm::sendrecv_raw(std::span<const std::byte> send_data, int dest,
 Request Comm::isend(std::span<const std::byte> data, int dest, int tag) {
   check_peer(dest, "isend");
   check_tag(tag);
-  return runtime_.isend(rank_, data, data.size(), dest, tag);
+  return runtime_.isend(rank_, data, net::Bytes{data.size()}, dest, tag);
 }
 
 Request Comm::isend_bytes(net::Bytes bytes, int dest, int tag) {
@@ -87,7 +89,8 @@ Request Comm::isend_bytes(net::Bytes bytes, int dest, int tag) {
 Request Comm::irecv(std::span<std::byte> buffer, int source, int tag) {
   if (source != kAnySource) check_peer(source, "irecv");
   if (tag != kAnyTag) check_tag(tag);
-  return runtime_.irecv(rank_, buffer, buffer.size(), source, tag);
+  return runtime_.irecv(rank_, buffer, net::Bytes{buffer.size()}, source,
+                        tag);
 }
 
 Request Comm::irecv_bytes(net::Bytes max_bytes, int source, int tag) {
@@ -155,8 +158,10 @@ void Comm::barrier() {
   for (int step = 1; step < p; step *= 2) {
     const int to = (rank_ + step) % p;
     const int from = (rank_ - step % p + p) % p;
-    const Request recv_req = runtime_.irecv(rank_, {}, 0, from, kTagBarrier);
-    const Request send_req = runtime_.isend(rank_, {}, 0, to, kTagBarrier);
+    const Request recv_req =
+        runtime_.irecv(rank_, {}, net::Bytes{}, from, kTagBarrier);
+    const Request send_req =
+        runtime_.isend(rank_, {}, net::Bytes{}, to, kTagBarrier);
     wait(send_req);
     wait(recv_req);
   }

@@ -36,7 +36,7 @@ Runtime::Runtime(Options options)
   comms_.reserve(options_.nprocs);
   for (int r = 0; r < options_.nprocs; ++r) {
     auto state = std::make_unique<detail::RankState>();
-    state->rank = r;
+    state->rank = units::Rank{r};
     state->node = r / options_.procs_per_node;
     state->rng = master.split();
     state->clock_offset_s = state->rng.uniform(-options_.clock_offset_max_s,
@@ -65,9 +65,10 @@ void Runtime::run(const std::function<void(Comm&)>& rank_main) {
   if (ran_) throw MpiError{"Runtime::run may only be called once"};
   ran_ = true;
   for (auto& state : ranks_) {
-    Comm& comm = *comms_[state->rank];
+    const int r = state->rank.value();
+    Comm& comm = *comms_[static_cast<std::size_t>(r)];
     state->process = std::make_unique<des::Process>(
-        engine_of_rank(state->rank), "rank" + std::to_string(state->rank),
+        engine_of_rank(r), "rank" + std::to_string(r),
         [&rank_main, &comm] { rank_main(comm); });
   }
   sim_.run(static_cast<unsigned>(std::max(1, options_.sim_threads)));
@@ -77,7 +78,9 @@ void Runtime::run(const std::function<void(Comm&)>& rank_main) {
 
   std::vector<int> blocked;
   for (auto& state : ranks_) {
-    if (!state->process->finished()) blocked.push_back(state->rank);
+    if (!state->process->finished()) {
+      blocked.push_back(state->rank.value());
+    }
   }
   if (!blocked.empty()) {
     std::ostringstream os;
@@ -92,31 +95,33 @@ void Runtime::run(const std::function<void(Comm&)>& rank_main) {
 // Cost model helpers
 // ---------------------------------------------------------------------------
 
-des::SimTime Runtime::jittered(detail::RankState& rank, des::SimTime base) {
+des::Duration Runtime::jittered(detail::RankState& rank, des::Duration base) {
   const auto& host = options_.cluster.host;
-  double t = static_cast<double>(base);
+  double t = static_cast<double>(base.ns());
   if (host.jitter_sigma > 0) {
     t *= std::exp(rank.rng.normal(0.0, host.jitter_sigma));
   }
   if (host.spike_prob > 0 && rank.rng.bernoulli(host.spike_prob)) {
-    t += rank.rng.exponential(static_cast<double>(host.spike_mean));
+    t += rank.rng.exponential(static_cast<double>(host.spike_mean.ns()));
   }
-  return static_cast<des::SimTime>(t);
+  // Truncation (not rounding) is deliberate: it is the historical cost-model
+  // behaviour and the golden outputs are calibrated to it.
+  return des::Duration{static_cast<std::int64_t>(t)};
 }
 
-des::SimTime Runtime::send_cost(detail::RankState& rank, net::Bytes bytes) {
+des::Duration Runtime::send_cost(detail::RankState& rank, net::Bytes bytes) {
   const auto& host = options_.cluster.host;
-  const auto base = static_cast<des::SimTime>(
-      static_cast<double>(host.send_overhead) +
-      host.copy_ns_per_byte * static_cast<double>(bytes));
+  const des::Duration base{static_cast<std::int64_t>(
+      static_cast<double>(host.send_overhead.ns()) +
+      host.copy_ns_per_byte * bytes.to_double())};
   return jittered(rank, base);
 }
 
-des::SimTime Runtime::recv_cost(detail::RankState& rank, net::Bytes bytes) {
+des::Duration Runtime::recv_cost(detail::RankState& rank, net::Bytes bytes) {
   const auto& host = options_.cluster.host;
-  const auto base = static_cast<des::SimTime>(
-      static_cast<double>(host.recv_overhead) +
-      host.copy_ns_per_byte * static_cast<double>(bytes));
+  const des::Duration base{static_cast<std::int64_t>(
+      static_cast<double>(host.recv_overhead.ns()) +
+      host.copy_ns_per_byte * bytes.to_double())};
   return jittered(rank, base);
 }
 
@@ -149,14 +154,14 @@ Request Runtime::isend(int src, std::span<const std::byte> data,
     rs.process->delay(send_cost(rs, bytes));
     des::Engine& engine = engine_of_rank(src);
     const auto& host = options_.cluster.host;
-    const auto xfer = static_cast<des::SimTime>(
-        static_cast<double>(host.smp_latency) +
-        static_cast<double>(bytes) / host.smp_rate.byte_per_sec() * 1e9);
+    const des::Duration xfer{static_cast<std::int64_t>(
+        static_cast<double>(host.smp_latency.ns()) +
+        bytes.to_double() / host.smp_rate.byte_per_sec() * 1e9)};
     des::SimTime arrive = engine.now() + jittered(rs, xfer);
     // Non-overtaking per sender on the SMP channel.
     detail::RankState& rd = rank_state(dst);
     des::SimTime& last = rd.smp_last_arrival[src];
-    arrive = std::max(arrive, last + 1);
+    arrive = std::max(arrive, last + des::Duration{1});
     last = arrive;
     detail::Inbound inbound{.source = src,
                             .tag = tag,
@@ -193,7 +198,8 @@ Request Runtime::isend(int src, std::span<const std::byte> data,
   // id that encodes the source rank.
   rs.process->delay(jittered(rs, options_.cluster.host.send_overhead));
   const std::uint64_t id = rendezvous_id(src, rs.next_rendezvous++);
-  parts_[static_cast<std::size_t>(partition_of_rank(src))].rdv_out.emplace(
+  parts_[static_cast<std::size_t>(partition_of_rank(src).value())]
+      .rdv_out.emplace(
       id, RendezvousOut{.send_request = req,
                         .src_rank = src,
                         .dst_rank = dst,
@@ -267,7 +273,7 @@ void Runtime::compute(int rank, double seconds) {
   double t = seconds * 1e9;
   const double sigma = options_.cluster.host.compute_jitter_sigma;
   if (sigma > 0) t *= std::exp(rs.rng.normal(0.0, sigma));
-  rs.process->delay(static_cast<des::SimTime>(t));
+  rs.process->delay(des::Duration{static_cast<std::int64_t>(t)});
 }
 
 // ---------------------------------------------------------------------------
@@ -321,7 +327,7 @@ bool Runtime::match_posted_against_unexpected(
       grant_rendezvous(rank, recv, inbound);
     } else {
       complete_recv_at(recv, inbound,
-                       engine_of_rank(rank.rank).now() +
+                       engine_of_rank(rank.rank.value()).now() +
                            recv_cost(rank, inbound.bytes));
     }
     return true;
@@ -336,8 +342,9 @@ void Runtime::grant_rendezvous(detail::RankState& rank,
   // CTS back on the reverse-direction stream. The id alone lets the CTS
   // handler find the sender half in the source partition.
   const int src = inbound.source;
-  const int dst = rank.rank;
-  parts_[static_cast<std::size_t>(partition_of_rank(dst))].rdv_in.emplace(
+  const int dst = rank.rank.value();
+  parts_[static_cast<std::size_t>(partition_of_rank(dst).value())]
+      .rdv_in.emplace(
       inbound.rendezvous, RendezvousIn{.recv_request = recv,
                                        .src_rank = src,
                                        .tag = inbound.tag,
@@ -350,7 +357,8 @@ void Runtime::grant_rendezvous(detail::RankState& rank,
 void Runtime::cts_arrive(std::uint64_t rendezvous) {
   // Runs in the source partition (the CTS landed at the sender's node).
   const int src = rendezvous_src(rendezvous);
-  PartitionState& ps = parts_[static_cast<std::size_t>(partition_of_rank(src))];
+  PartitionState& ps =
+      parts_[static_cast<std::size_t>(partition_of_rank(src).value())];
   auto it = ps.rdv_out.find(rendezvous);
   if (it == ps.rdv_out.end()) {
     throw MpiError{"internal: CTS for unknown rendezvous"};
@@ -369,9 +377,9 @@ void Runtime::cts_arrive(std::uint64_t rendezvous) {
                     rendezvous_data_arrive(dst, id, payload);
                   });
   // The sender's copy through the socket layer completes the send request.
-  const auto copy = static_cast<des::SimTime>(
-      options_.cluster.host.copy_ns_per_byte *
-      static_cast<double>(pending.bytes));
+  const des::Duration copy{
+      static_cast<std::int64_t>(options_.cluster.host.copy_ns_per_byte *
+                                pending.bytes.to_double())};
   complete_send_at(pending.send_request,
                    engine_of_rank(src).now() + jittered(rs, copy));
 }
@@ -379,7 +387,8 @@ void Runtime::cts_arrive(std::uint64_t rendezvous) {
 void Runtime::rendezvous_data_arrive(
     int dst, std::uint64_t rendezvous,
     std::shared_ptr<std::vector<std::byte>> payload) {
-  PartitionState& ps = parts_[static_cast<std::size_t>(partition_of_rank(dst))];
+  PartitionState& ps =
+      parts_[static_cast<std::size_t>(partition_of_rank(dst).value())];
   auto it = ps.rdv_in.find(rendezvous);
   if (it == ps.rdv_in.end()) {
     throw MpiError{"internal: data for unknown rendezvous"};
@@ -404,8 +413,8 @@ void Runtime::complete_recv_at(
     recv->status = Status{inbound.source, inbound.tag, inbound.bytes};
     if (inbound.bytes > recv->max_bytes) {
       recv->error = "recv truncation: message of " +
-                    std::to_string(inbound.bytes) + " bytes into " +
-                    std::to_string(recv->max_bytes) + "-byte buffer";
+                    std::to_string(inbound.bytes.count()) + " bytes into " +
+                    std::to_string(recv->max_bytes.count()) + "-byte buffer";
     } else if (inbound.payload && !recv->buffer.empty()) {
       const std::size_t n = std::min<std::size_t>(inbound.payload->size(),
                                                   recv->buffer.size());

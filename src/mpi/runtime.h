@@ -65,7 +65,7 @@ struct RequestState {
   int source = kAnySource;
   int tag = kAnyTag;
   std::span<std::byte> buffer{};
-  net::Bytes max_bytes = 0;
+  net::Bytes max_bytes{};
   Status status{};
   /// Non-empty on failure (e.g. truncation); rethrown by Comm::wait.
   std::string error;
@@ -77,14 +77,14 @@ struct RequestState {
 struct Inbound {
   int source = -1;
   int tag = kAnyTag;
-  net::Bytes bytes = 0;
+  net::Bytes bytes{};
   bool is_rts = false;
   std::uint64_t rendezvous = 0;                    ///< RTS id
   std::shared_ptr<std::vector<std::byte>> payload; ///< may be null
 };
 
 struct RankState {
-  int rank = -1;
+  units::Rank rank{};
   int node = -1;
   std::unique_ptr<des::Process> process;
   stats::Rng rng{1};
@@ -101,7 +101,7 @@ struct RankState {
 
   // Statistics.
   std::uint64_t messages_sent = 0;
-  net::Bytes bytes_sent = 0;
+  net::Bytes bytes_sent{};
 };
 
 }  // namespace detail
@@ -148,7 +148,9 @@ class Runtime {
   [[nodiscard]] des::PartitionSet& sim() noexcept { return sim_; }
   /// Partition 0's engine — the whole simulation when sequential. Prefer
   /// engine_of_rank() anywhere a specific rank's clock matters.
-  [[nodiscard]] des::Engine& engine() { return sim_.engine(0); }
+  [[nodiscard]] des::Engine& engine() {
+    return sim_.engine(units::PartitionId{0});
+  }
   [[nodiscard]] des::Engine& engine_of_rank(int rank) {
     return sim_.engine(partition_of_rank(rank));
   }
@@ -161,8 +163,9 @@ class Runtime {
 
   detail::RankState& rank_state(int rank);
   [[nodiscard]] stats::Rng& rng_of(int rank);
-  [[nodiscard]] int partition_of_rank(int rank) {
-    return network_.partition_of_node(ranks_.at(rank)->node);
+  [[nodiscard]] units::PartitionId partition_of_rank(int rank) {
+    return network_.partition_of_node(
+        ranks_.at(static_cast<std::size_t>(rank))->node);
   }
 
   // ---- process-context operations (called via Comm from rank threads) ----
@@ -200,10 +203,13 @@ class Runtime {
   void complete_send_at(const std::shared_ptr<detail::RequestState>& send,
                         des::SimTime when);
   /// Receiver-side software cost for a message of `bytes`.
-  [[nodiscard]] des::SimTime recv_cost(detail::RankState& rank, net::Bytes bytes);
-  [[nodiscard]] des::SimTime send_cost(detail::RankState& rank, net::Bytes bytes);
+  [[nodiscard]] des::Duration recv_cost(detail::RankState& rank,
+                                        net::Bytes bytes);
+  [[nodiscard]] des::Duration send_cost(detail::RankState& rank,
+                                        net::Bytes bytes);
   /// Lognormal multiplicative jitter plus rare spikes.
-  [[nodiscard]] des::SimTime jittered(detail::RankState& rank, des::SimTime base);
+  [[nodiscard]] des::Duration jittered(detail::RankState& rank,
+                                       des::Duration base);
 
   /// Sends the CTS for a matched rendezvous and records the waiting recv.
   void grant_rendezvous(detail::RankState& rank,
@@ -241,7 +247,7 @@ class Runtime {
     std::shared_ptr<detail::RequestState> send_request;
     int src_rank = -1;
     int dst_rank = -1;
-    net::Bytes bytes = 0;
+    net::Bytes bytes{};
     std::shared_ptr<std::vector<std::byte>> payload;
   };
   /// Receiver-side half, owned by the destination node's partition from
@@ -250,7 +256,7 @@ class Runtime {
     std::shared_ptr<detail::RequestState> recv_request;
     int src_rank = -1;
     int tag = kAnyTag;
-    net::Bytes bytes = 0;
+    net::Bytes bytes{};
   };
   /// Per-partition MPI-layer state; touched only from its partition.
   struct PartitionState {
@@ -259,7 +265,7 @@ class Runtime {
   };
   std::vector<PartitionState> parts_;
 
-  des::SimTime finish_time_ = 0;
+  des::SimTime finish_time_{};
   bool ran_ = false;
 };
 

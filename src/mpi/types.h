@@ -18,7 +18,7 @@ inline constexpr int kAnyTag = -1;
 struct Status {
   int source = kAnySource;
   int tag = kAnyTag;
-  net::Bytes bytes = 0;
+  net::Bytes bytes{};
 };
 
 /// Raised for misuse of the API (bad ranks, truncation, ...).

@@ -159,7 +159,8 @@ CollectiveResult run_collective(const Options& options, net::Bytes size,
 }  // namespace
 
 CollectiveResult run_barrier(const Options& options) {
-  return run_collective(options, 0, [](smpi::Comm& comm) { comm.barrier(); });
+  return run_collective(options, net::Bytes{},
+                        [](smpi::Comm& comm) { comm.barrier(); });
 }
 
 CollectiveResult run_bcast(const Options& options, net::Bytes size) {

@@ -53,7 +53,7 @@ struct Options {
 /// Result of one point-to-point benchmark configuration (one message size,
 /// one n x p machine configuration).
 struct PointToPointResult {
-  net::Bytes size = 0;
+  net::Bytes size{};
   int nodes = 0;
   int procs_per_node = 0;
 
@@ -93,7 +93,7 @@ struct PointToPointResult {
 
 /// Completion-time benchmark of a collective operation, timed per process.
 struct CollectiveResult {
-  net::Bytes size = 0;
+  net::Bytes size{};
   int nodes = 0;
   int procs_per_node = 0;
   stats::Histogram completion{1e-5};  ///< per-process completion times (s)

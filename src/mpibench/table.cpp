@@ -90,9 +90,8 @@ stats::EmpiricalDistribution DistributionTable::lookup_at_level(
   const auto* d0 = exact(op, s0, contention);
   const auto* d1 = exact(op, s1, contention);
   if (s0 == s1) return *d0;
-  const double w = log_weight(static_cast<double>(s0),
-                              static_cast<double>(bytes),
-                              static_cast<double>(s1));
+  const double w =
+      log_weight(s0.to_double(), bytes.to_double(), s1.to_double());
   return d0->blended(*d1, w);
 }
 
@@ -115,7 +114,8 @@ stats::EmpiricalDistribution DistributionTable::lookup(OpKind op,
 void DistributionTable::save(std::ostream& os) const {
   os << "pevpm-table v1\n" << entries_.size() << '\n';
   for (const auto& [key, dist] : entries_) {
-    os << key.op << ' ' << key.bytes << ' ' << key.contention << '\n';
+    os << key.op << ' ' << key.bytes.count() << ' ' << key.contention
+       << '\n';
     dist.save(os);
   }
 }
@@ -131,9 +131,11 @@ DistributionTable DistributionTable::load(std::istream& is) {
   DistributionTable table;
   for (std::size_t i = 0; i < n; ++i) {
     Key key;
-    if (!(is >> key.op >> key.bytes >> key.contention)) {
+    std::uint64_t raw_bytes = 0;
+    if (!(is >> key.op >> raw_bytes >> key.contention)) {
       throw std::runtime_error{"DistributionTable::load: truncated key"};
     }
+    key.bytes = net::Bytes{raw_bytes};
     table.entries_[key] = stats::EmpiricalDistribution::load(is);
   }
   return table;

@@ -56,7 +56,7 @@ class DistributionTable {
  private:
   struct Key {
     int op = 0;
-    net::Bytes bytes = 0;
+    net::Bytes bytes{};
     int contention = 0;
     [[nodiscard]] auto operator<=>(const Key&) const = default;
   };

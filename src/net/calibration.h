@@ -22,23 +22,23 @@ namespace net {
 
 /// Ethernet / TCP framing constants (Fast Ethernet, 1500-byte MTU).
 struct WireFormat {
-  Bytes mtu = 1500;             ///< IP payload per frame
-  Bytes tcp_ip_header = 40;     ///< TCP + IPv4 headers
-  Bytes eth_overhead = 38;      ///< MAC hdr 14 + FCS 4 + preamble 8 + IFG 12
-  Bytes min_frame = 64;         ///< minimum Ethernet frame (before preamble)
+  Bytes mtu{1500};              ///< IP payload per frame
+  Bytes tcp_ip_header{40};      ///< TCP + IPv4 headers
+  Bytes eth_overhead{38};       ///< MAC hdr 14 + FCS 4 + preamble 8 + IFG 12
+  Bytes min_frame{64};          ///< minimum Ethernet frame (before preamble)
 
   [[nodiscard]] constexpr Bytes mss() const noexcept {
     return mtu - tcp_ip_header;  // 1460
   }
   /// Wire bytes for a data segment carrying `payload` stream bytes.
   [[nodiscard]] constexpr Bytes segment_wire_bytes(Bytes payload) const noexcept {
-    const Bytes frame = payload + tcp_ip_header + 18;  // MAC hdr + FCS
+    const Bytes frame = payload + tcp_ip_header + Bytes{18};  // MAC hdr + FCS
     const Bytes padded = frame < min_frame ? min_frame : frame;
-    return padded + 20;  // preamble + IFG
+    return padded + Bytes{20};  // preamble + IFG
   }
   /// Wire bytes for a bare ACK.
   [[nodiscard]] constexpr Bytes ack_wire_bytes() const noexcept {
-    return segment_wire_bytes(0);
+    return segment_wire_bytes(Bytes{0});
   }
 };
 
@@ -47,8 +47,8 @@ struct WireFormat {
 /// per-byte copy cost; jitter models OS scheduling/interrupt noise and
 /// gives the PDFs their bounded-minimum, right-tailed shape (Fig. 3).
 struct HostParams {
-  des::SimTime send_overhead = des::from_micros(22.0);
-  des::SimTime recv_overhead = des::from_micros(24.0);
+  des::Duration send_overhead = des::from_micros(22.0);
+  des::Duration recv_overhead = des::from_micros(24.0);
   /// Extra per-byte CPU cost (memory copies through the socket layer);
   /// ~200 MB/s, a PC100-SDRAM-era memcpy. Tuned so a 16 KB eager message
   /// achieves the paper's ~81 Mbit/s per-pair throughput.
@@ -57,11 +57,11 @@ struct HostParams {
   double jitter_sigma = 0.12;
   /// Rare scheduling spikes: probability per operation and mean size.
   double spike_prob = 0.004;
-  des::SimTime spike_mean = des::from_micros(350.0);
+  des::Duration spike_mean = des::from_micros(350.0);
   /// Multiplicative jitter on Comm::compute (cache/interrupt noise).
   double compute_jitter_sigma = 0.02;
   /// SMP intra-node channel (shared memory): latency and bandwidth.
-  des::SimTime smp_latency = des::from_micros(12.0);
+  des::Duration smp_latency = des::from_micros(12.0);
   Rate smp_rate = Rate::mbyte(180.0);
 };
 
@@ -70,26 +70,26 @@ struct TcpParams {
   Bytes recv_window = 32_KiB;     ///< caps in-flight data per connection
   int initial_cwnd = 2;           ///< segments
   int dupack_threshold = 3;       ///< fast retransmit trigger
-  des::SimTime rto_initial = des::from_micros(200e3);  ///< 200 ms
-  des::SimTime rto_min = des::from_micros(200e3);
-  des::SimTime rto_max = des::from_micros(2e6);  ///< 2 s cap
+  des::Duration rto_initial = des::from_micros(200e3);  ///< 200 ms
+  des::Duration rto_min = des::from_micros(200e3);
+  des::Duration rto_max = des::from_micros(2e6);  ///< 2 s cap
 };
 
 /// MPICH-like messaging protocol parameters.
 struct MpiParams {
   Bytes eager_threshold = 16_KiB;  ///< the Fig. 2 knee
-  Bytes eager_header = 64;         ///< envelope bytes on eager messages
-  Bytes rendezvous_ctrl = 64;      ///< RTS / CTS control message size
+  Bytes eager_header{64};          ///< envelope bytes on eager messages
+  Bytes rendezvous_ctrl{64};       ///< RTS / CTS control message size
 };
 
 /// One link class in the topology.
 struct LinkParams {
   Rate rate = Rate::mbit(100.0);
-  des::SimTime latency = des::from_micros(2.0);
+  des::Duration latency = des::from_micros(2.0);
   Bytes buffer = 64_KiB;  ///< output queue capacity in wire bytes
   /// Fixed per-packet service time on top of serialisation; nonzero for
   /// the switch forwarding fabric, whose cost is packet-dominated.
-  des::SimTime per_packet = 0;
+  des::Duration per_packet{};
 };
 
 /// Whole-cluster description. `perseus()` (cluster.h) fills in the machine
@@ -105,9 +105,9 @@ struct ClusterParams {
 
   /// Node NIC, each direction (full duplex Fast Ethernet). The buffer is
   /// the kernel interface queue (txqueuelen 100 full frames).
-  LinkParams nic{Rate::mbit(100.0), des::from_micros(1.0), 100 * 1538};
+  LinkParams nic{Rate::mbit(100.0), des::from_micros(1.0), Bytes{100 * 1538}};
   /// Switch port forwarding: store-and-forward latency charged per hop.
-  des::SimTime switch_latency = des::from_micros(6.0);
+  des::Duration switch_latency = des::from_micros(6.0);
   /// Per-switch shared forwarding fabric, crossed once where a frame enters
   /// the stack. Packet-rate limited (~2 us/frame, ~500 kpps — comfortably
   /// above 24 ports of full-size frames, but a real queueing point for
@@ -125,7 +125,7 @@ struct ClusterParams {
 
   /// Conservative-parallel lookahead override (parse_cluster key
   /// `lookahead_us`); 0 means "derive from the topology", see lookahead().
-  des::SimTime lookahead_override = 0;
+  des::Duration lookahead_override{};
 
   [[nodiscard]] int switch_count() const noexcept {
     return (nodes + ports_per_switch - 1) / ports_per_switch;
@@ -142,19 +142,20 @@ struct ClusterParams {
   /// plus the store-and-forward switch hop. The safe bound is therefore
   /// min(fabric, trunk latency) + switch_latency — 7 us for the calibrated
   /// Perseus numbers, against end-to-end message times of 15 us and up.
-  [[nodiscard]] des::SimTime safe_lookahead() const noexcept {
-    const des::SimTime entry =
+  [[nodiscard]] des::Duration safe_lookahead() const noexcept {
+    const des::Duration entry =
         fabric.latency < trunk.latency ? fabric.latency : trunk.latency;
     return entry + switch_latency;
   }
-  [[nodiscard]] des::SimTime lookahead() const noexcept {
-    return lookahead_override > 0 ? lookahead_override : safe_lookahead();
+  [[nodiscard]] des::Duration lookahead() const noexcept {
+    return lookahead_override > des::Duration{} ? lookahead_override
+                                               : safe_lookahead();
   }
   /// Lookahead between two partitions `hops` switch boundaries apart (the
   /// per-partition-pair bound; validation asserts use it).
-  [[nodiscard]] des::SimTime lookahead_between(int p, int q) const noexcept {
+  [[nodiscard]] des::Duration lookahead_between(int p, int q) const noexcept {
     const int hops = p < q ? q - p : p - q;
-    return static_cast<des::SimTime>(hops) * lookahead();
+    return lookahead() * hops;
   }
 };
 

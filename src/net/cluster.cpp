@@ -1,6 +1,7 @@
 #include "net/cluster.h"
 
 #include <istream>
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
 
@@ -22,18 +23,18 @@ std::string describe(const ClusterParams& params) {
      << " switch(es), " << params.ports_per_switch << " ports each\n";
   os << "  nic:    " << params.nic.rate.bps() / 1e6 << " Mbit/s, "
      << des::to_micros(params.nic.latency) << " us latency, "
-     << params.nic.buffer << " B buffer\n";
+     << params.nic.buffer.count() << " B buffer\n";
   os << "  switch: " << des::to_micros(params.switch_latency)
      << " us forwarding latency\n";
   os << "  trunk:  " << params.trunk.rate.bps() / 1e9 << " Gbit/s, "
      << des::to_micros(params.trunk.latency) << " us latency, "
-     << params.trunk.buffer << " B buffer\n";
+     << params.trunk.buffer.count() << " B buffer\n";
   os << "  host:   send " << des::to_micros(params.host.send_overhead)
      << " us, recv " << des::to_micros(params.host.recv_overhead)
      << " us, copy " << params.host.copy_ns_per_byte << " ns/B\n";
   os << "  tcp:    rto " << des::to_millis(params.tcp.rto_initial)
-     << " ms, window " << params.tcp.recv_window << " B\n";
-  os << "  mpi:    eager threshold " << params.mpi.eager_threshold << " B\n";
+     << " ms, window " << params.tcp.recv_window.count() << " B\n";
+  os << "  mpi:    eager threshold " << params.mpi.eager_threshold.count() << " B\n";
   if (params.fault.enabled()) {
     os << "  fault:  loss " << params.fault.loss_rate;
     if (params.fault.ge_p_enter > 0.0) {
@@ -84,13 +85,13 @@ ClusterParams parse_cluster(std::istream& is, ClusterParams base) {
     } else if (key == "nic_latency_us") {
       base.nic.latency = des::from_micros(value);
     } else if (key == "nic_buffer_frames") {
-      base.nic.buffer = static_cast<Bytes>(value) * 1538;
+      base.nic.buffer = Bytes{static_cast<std::uint64_t>(value) * 1538};
     } else if (key == "trunk_gbit") {
       base.trunk.rate = Rate::gbit(value);
     } else if (key == "trunk_latency_us") {
       base.trunk.latency = des::from_micros(value);
     } else if (key == "trunk_buffer_kib") {
-      base.trunk.buffer = static_cast<Bytes>(value) * 1024;
+      base.trunk.buffer = Bytes{static_cast<std::uint64_t>(value) * 1024};
     } else if (key == "switch_latency_us") {
       base.switch_latency = des::from_micros(value);
     } else if (key == "lookahead_us") {
@@ -98,13 +99,13 @@ ClusterParams parse_cluster(std::istream& is, ClusterParams base) {
       // ClusterParams::lookahead()). Must not exceed the topology's safe
       // bound — Network's partitioned constructor rejects it if it does.
       base.lookahead_override = des::from_micros(value);
-      if (base.lookahead_override <= 0) {
+      if (base.lookahead_override <= des::Duration{}) {
         throw std::runtime_error{"parse_cluster: line " +
                                  std::to_string(lineno) +
                                  ": lookahead_us must be positive"};
       }
     } else if (key == "eager_threshold_kib") {
-      base.mpi.eager_threshold = static_cast<Bytes>(value) * 1024;
+      base.mpi.eager_threshold = Bytes{static_cast<std::uint64_t>(value) * 1024};
     } else if (key == "send_overhead_us") {
       base.host.send_overhead = des::from_micros(value);
     } else if (key == "recv_overhead_us") {
@@ -121,7 +122,7 @@ ClusterParams parse_cluster(std::istream& is, ClusterParams base) {
       base.tcp.rto_initial = des::from_micros(value * 1e3);
       base.tcp.rto_min = base.tcp.rto_initial;
     } else if (key == "recv_window_kib") {
-      base.tcp.recv_window = static_cast<Bytes>(value) * 1024;
+      base.tcp.recv_window = Bytes{static_cast<std::uint64_t>(value) * 1024};
     } else if (key == "fault_loss_rate") {
       base.fault.loss_rate = value;
     } else if (key == "fault_burst_enter") {
@@ -134,7 +135,7 @@ ClusterParams parse_cluster(std::istream& is, ClusterParams base) {
       base.fault.seed = static_cast<std::uint64_t>(value);
     } else if (key == "fault_down_start_ms") {
       base.fault.down.push_back(
-          DownWindow{des::from_micros(value * 1e3), des::kNever});
+          DownWindow{des::SimTime::from_micros(value * 1e3), des::kNever});
     } else if (key == "fault_down_end_ms") {
       if (base.fault.down.empty()) {
         throw std::runtime_error{"parse_cluster: line " +
@@ -142,7 +143,7 @@ ClusterParams parse_cluster(std::istream& is, ClusterParams base) {
                                  ": fault_down_end_ms before any "
                                  "fault_down_start_ms"};
       }
-      base.fault.down.back().end = des::from_micros(value * 1e3);
+      base.fault.down.back().end = des::SimTime::from_micros(value * 1e3);
     } else {
       throw std::runtime_error{"parse_cluster: line " + std::to_string(lineno) +
                                ": unknown key '" + key + "'"};

@@ -43,8 +43,8 @@ namespace net {
 /// One scheduled outage: the link loses every packet submitted in
 /// [start, end) of virtual time.
 struct DownWindow {
-  des::SimTime start = 0;
-  des::SimTime end = 0;
+  des::SimTime start{};
+  des::SimTime end{};
 };
 
 /// Fault-injection configuration, shared by every link in a cluster (each

@@ -14,7 +14,7 @@ Link::Resolved Link::submit_resolved(const Packet& packet) {
   peak_backlog_ = std::max(peak_backlog_, backlog_);
 
   const des::SimTime start = std::max(engine_.now(), busy_until_);
-  const des::SimTime tx =
+  const des::Duration tx =
       params_.per_packet + params_.rate.time_to_send(packet.wire_bytes);
   busy_until_ = start + tx;
   busy_time_ += tx;
@@ -59,9 +59,9 @@ void Link::reset_stats() noexcept {
   sent_ = 0;
   dropped_ = 0;
   lost_ = 0;
-  bytes_sent_ = 0;
+  bytes_sent_ = Bytes{};
   peak_backlog_ = backlog_;
-  busy_time_ = 0;
+  busy_time_ = des::Duration{};
 }
 
 }  // namespace net

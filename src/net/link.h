@@ -14,6 +14,7 @@
 #include <string>
 #include <utility>
 
+#include "core/units.h"
 #include "des/engine.h"
 #include "net/calibration.h"
 #include "net/fault.h"
@@ -30,7 +31,7 @@ class Link {
   /// under the conservative parallel engine; every submit must come from
   /// that partition's execution context. Sequential networks leave it 0.
   Link(des::Engine& engine, std::string name, LinkParams params,
-       int partition = 0)
+       units::PartitionId partition = units::PartitionId{})
       : engine_{engine},
         name_{std::move(name)},
         params_{params},
@@ -50,7 +51,7 @@ class Link {
   enum class SubmitOutcome : std::uint8_t { kDropped, kLost, kDelivered };
   struct Resolved {
     SubmitOutcome outcome = SubmitOutcome::kDropped;
-    des::SimTime arrive = 0;  ///< (would-be) arrival; meaningless if dropped
+    des::SimTime arrive{};    ///< (would-be) arrival; meaningless if dropped
   };
 
   /// Boundary-handoff variant of submit(): identical queueing,
@@ -72,7 +73,9 @@ class Link {
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] const LinkParams& params() const noexcept { return params_; }
   [[nodiscard]] des::Engine& engine() const noexcept { return engine_; }
-  [[nodiscard]] int partition() const noexcept { return partition_; }
+  [[nodiscard]] units::PartitionId partition() const noexcept {
+    return partition_;
+  }
 
   /// Wire bytes currently queued or being serialised.
   [[nodiscard]] Bytes backlog() const noexcept { return backlog_; }
@@ -85,7 +88,9 @@ class Link {
   [[nodiscard]] Bytes bytes_sent() const noexcept { return bytes_sent_; }
   [[nodiscard]] Bytes peak_backlog() const noexcept { return peak_backlog_; }
   /// Total time the transmitter was serialising, for utilisation reports.
-  [[nodiscard]] des::SimTime busy_time() const noexcept { return busy_time_; }
+  [[nodiscard]] des::Duration busy_time() const noexcept {
+    return busy_time_;
+  }
 
   void reset_stats() noexcept;
 
@@ -93,18 +98,18 @@ class Link {
   des::Engine& engine_;
   std::string name_;
   LinkParams params_;
-  int partition_ = 0;
+  units::PartitionId partition_{};
 
   std::unique_ptr<FaultModel> fault_;
 
-  des::SimTime busy_until_ = 0;
-  Bytes backlog_ = 0;
-  Bytes peak_backlog_ = 0;
+  des::SimTime busy_until_{};
+  Bytes backlog_{};
+  Bytes peak_backlog_{};
   std::uint64_t sent_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t lost_ = 0;
-  Bytes bytes_sent_ = 0;
-  des::SimTime busy_time_ = 0;
+  Bytes bytes_sent_{};
+  des::Duration busy_time_{};
 };
 
 }  // namespace net

@@ -35,7 +35,7 @@ void Network::build_links() {
   nic_tx_.reserve(params_.nodes);
   nic_rx_.reserve(params_.nodes);
   for (int n = 0; n < params_.nodes; ++n) {
-    const int part = partition_of_node(n);
+    const units::PartitionId part = partition_of_node(n);
     nic_tx_.push_back(std::make_unique<Link>(engine_for(part),
                                              "nic_tx." + std::to_string(n),
                                              params_.nic, part));
@@ -45,7 +45,7 @@ void Network::build_links() {
   }
   const int switches = params_.switch_count();
   for (int s = 0; s < switches; ++s) {
-    const int part = k == 1 ? 0 : s;
+    const units::PartitionId part{k == 1 ? 0 : s};
     fabric_.push_back(std::make_unique<Link>(engine_for(part),
                                              "fabric." + std::to_string(s),
                                              params_.fabric, part));
@@ -54,7 +54,7 @@ void Network::build_links() {
     // The half-duplex trunk is owned by the lower switch's partition; the
     // descending direction reaches it through a boundary handoff, so every
     // submit still comes from the owner's context.
-    const int part = k == 1 ? 0 : s;
+    const units::PartitionId part{k == 1 ? 0 : s};
     trunk_.push_back(std::make_unique<Link>(engine_for(part),
                                             "trunk." + std::to_string(s),
                                             params_.trunk, part));
@@ -160,7 +160,7 @@ void Network::release_transit(std::uint32_t part,
 
 void Network::send(const Packet& packet, DeliverFn deliver, DropFn drop) {
   const std::uint32_t part =
-      static_cast<std::uint32_t>(partition_of_node(packet.src_node));
+      static_cast<std::uint32_t>(partition_of_node(packet.src_node).value());
   const std::span<Link* const> path =
       route_span(static_cast<int>(part), packet.src_node, packet.dst_node);
   const std::uint32_t index = acquire_transit(part);
@@ -206,7 +206,7 @@ void Network::forward_hop(std::uint32_t part, std::uint32_t index) {
     return;
   }
   Link* next = record.path[record.hop + 1];
-  if (next->partition() != static_cast<int>(part)) {
+  if (next->partition().value() != static_cast<int>(part)) {
     // Partition boundary: resolve this link's outcome at the submit instant
     // (queueing, serialisation, fault decision — all sender-side state) and
     // hand the continuation to the neighbouring partition. The continuation
@@ -231,19 +231,22 @@ void Network::forward_hop(std::uint32_t part, std::uint32_t index) {
                                  });
       return;
     }
-    const std::uint32_t to = static_cast<std::uint32_t>(next->partition());
+    const std::uint32_t to =
+        static_cast<std::uint32_t>(next->partition().value());
+    const units::PartitionId from_id{static_cast<int>(part)};
+    const units::PartitionId to_id{static_cast<int>(to)};
     const des::SimTime at = resolved.arrive + params_.switch_latency;
     if (drop) {
       // Rare oversized capture (user-supplied drop callback crossing a
       // boundary); SmallFn falls back to the heap for it.
-      sim_->post(static_cast<int>(part), static_cast<int>(to), at,
+      sim_->post(from_id, to_id, at,
                  [this, to, next_hop, packet, deliver = std::move(deliver),
                   drop = std::move(drop)]() mutable {
                    resume_transit(to, next_hop, packet, std::move(deliver),
                                   std::move(drop));
                  });
     } else {
-      sim_->post(static_cast<int>(part), static_cast<int>(to), at,
+      sim_->post(from_id, to_id, at,
                  [this, to, next_hop, packet,
                   deliver = std::move(deliver)]() mutable {
                    resume_transit(to, next_hop, packet, std::move(deliver),
@@ -296,10 +299,10 @@ std::string Network::stats_csv() const {
   std::ostringstream os;
   os << "link,packets,bytes,drops,lost,peak_backlog,busy_us\n";
   const auto row = [&os](const Link& link) {
-    os << link.name() << ',' << link.packets_sent() << ',' << link.bytes_sent()
-       << ',' << link.packets_dropped() << ',' << link.packets_lost() << ','
-       << link.peak_backlog() << ',' << des::to_micros(link.busy_time())
-       << '\n';
+    os << link.name() << ',' << link.packets_sent() << ','
+       << link.bytes_sent().count() << ',' << link.packets_dropped() << ','
+       << link.packets_lost() << ',' << link.peak_backlog().count() << ','
+       << des::to_micros(link.busy_time()) << '\n';
   };
   for (const auto& link : nic_tx_) row(*link);
   for (const auto& link : nic_rx_) row(*link);

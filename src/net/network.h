@@ -57,8 +57,9 @@ class Network {
   [[nodiscard]] int partitions() const noexcept {
     return static_cast<int>(parts_.size());
   }
-  [[nodiscard]] int partition_of_node(int node) const noexcept {
-    return parts_.size() == 1 ? 0 : params_.switch_of(node);
+  [[nodiscard]] units::PartitionId partition_of_node(int node) const noexcept {
+    return units::PartitionId{
+        parts_.size() == 1 ? 0 : params_.switch_of(node)};
   }
 
   /// Sends a packet from packet.src_node to packet.dst_node. `deliver`
@@ -80,7 +81,7 @@ class Network {
   /// Cached route for src -> dst: computed on first use, stable for the
   /// lifetime of the Network. Reads the source partition's cache.
   [[nodiscard]] std::span<Link* const> route_span(int src_node, int dst_node) {
-    return route_span(partition_of_node(src_node), src_node, dst_node);
+    return route_span(partition_of_node(src_node).value(), src_node, dst_node);
   }
 
   // Link accessors for statistics and tests.
@@ -132,7 +133,7 @@ class Network {
   };
 
   void build_links();
-  [[nodiscard]] des::Engine& engine_for(int part) const {
+  [[nodiscard]] des::Engine& engine_for(units::PartitionId part) const {
     return sim_ ? sim_->engine(part) : *engine0_;
   }
 

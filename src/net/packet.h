@@ -15,12 +15,12 @@ struct Packet {
   PacketKind kind = PacketKind::kData;
   int src_node = 0;
   int dst_node = 0;
-  Bytes wire_bytes = 0;        ///< full cost on the wire incl. all framing
+  Bytes wire_bytes{};          ///< full cost on the wire incl. all framing
 
   // Transport fields (TCP-lite).
   std::uint64_t conn = 0;      ///< connection id
-  std::uint64_t seq = 0;       ///< data: first stream byte;  ack: cumulative
-  Bytes payload = 0;           ///< data: stream bytes carried (0 for acks)
+  SeqNo seq{};                 ///< data: first stream byte;  ack: cumulative
+  Bytes payload{};             ///< data: stream bytes carried (0 for acks)
 };
 
 }  // namespace net

@@ -30,7 +30,7 @@ Transport::Transport(des::PartitionSet& sim, Network& network)
 }
 
 Transport::Sender& Transport::sender(std::uint64_t stream, int src, int dst) {
-  Shard& shard = shards_[static_cast<std::size_t>(partition_of(src))];
+  Shard& shard = shards_[static_cast<std::size_t>(partition_of(src).value())];
   auto [it, inserted] = shard.senders.try_emplace(stream);
   Sender& conn = it->second;
   if (inserted) {
@@ -48,8 +48,8 @@ Transport::Sender& Transport::sender(std::uint64_t stream, int src, int dst) {
 
 Transport::Sender& Transport::sender_of(const Packet& ack_packet) {
   // An ACK flows dst -> src, so its destination node is the sender's host.
-  Shard& shard =
-      shards_[static_cast<std::size_t>(partition_of(ack_packet.dst_node))];
+  Shard& shard = shards_[static_cast<std::size_t>(
+      partition_of(ack_packet.dst_node).value())];
   const auto it = shard.senders.find(ack_packet.conn);
   if (it == shard.senders.end()) {
     throw std::logic_error{"Transport: ACK for unknown stream"};
@@ -58,8 +58,8 @@ Transport::Sender& Transport::sender_of(const Packet& ack_packet) {
 }
 
 Transport::Receiver& Transport::receiver_of(const Packet& data_packet) {
-  Shard& shard =
-      shards_[static_cast<std::size_t>(partition_of(data_packet.dst_node))];
+  Shard& shard = shards_[static_cast<std::size_t>(
+      partition_of(data_packet.dst_node).value())];
   auto [it, inserted] = shard.receivers.try_emplace(data_packet.conn);
   Receiver& conn = it->second;
   if (inserted) {
@@ -71,8 +71,8 @@ Transport::Receiver& Transport::receiver_of(const Packet& data_packet) {
 }
 
 void Transport::register_message(std::uint64_t stream, int src, int dst,
-                                 std::uint64_t end, DeliveredFn cb) {
-  Shard& shard = shards_[static_cast<std::size_t>(partition_of(dst))];
+                                 SeqNo end, DeliveredFn cb) {
+  Shard& shard = shards_[static_cast<std::size_t>(partition_of(dst).value())];
   auto [it, inserted] = shard.receivers.try_emplace(stream);
   Receiver& conn = it->second;
   if (inserted) {
@@ -94,13 +94,13 @@ void Transport::register_message(std::uint64_t stream, int src, int dst,
   }
 }
 
-std::uint64_t Transport::next_packet_id(int part) noexcept {
-  return shards_[static_cast<std::size_t>(part)].next_packet_id++;
+std::uint64_t Transport::next_packet_id(units::PartitionId part) noexcept {
+  return shards_[static_cast<std::size_t>(part.value())].next_packet_id++;
 }
 
 void Transport::send(std::uint64_t stream, int src_node, int dst_node,
                      Bytes bytes, DeliveredFn on_delivered) {
-  if (bytes == 0) {
+  if (bytes == Bytes{}) {
     throw std::invalid_argument{"Transport::send: zero-byte message"};
   }
   if (src_node == dst_node) {
@@ -108,8 +108,8 @@ void Transport::send(std::uint64_t stream, int src_node, int dst_node,
   }
   Sender& conn = sender(stream, src_node, dst_node);
   conn.stream_end += bytes;
-  const int sp = partition_of(src_node);
-  const int dp = partition_of(dst_node);
+  const units::PartitionId sp = partition_of(src_node);
+  const units::PartitionId dp = partition_of(dst_node);
   if (sp == dp) {
     register_message(stream, src_node, dst_node, conn.stream_end,
                      std::move(on_delivered));
@@ -117,7 +117,7 @@ void Transport::send(std::uint64_t stream, int src_node, int dst_node,
     // The receiver half lives in the destination partition: ship the
     // (end offset, callback) pair through the mailbox one lookahead out.
     // It beats the first data byte — see the class comment.
-    const std::uint64_t end = conn.stream_end;
+    const SeqNo end = conn.stream_end;
     sim_->post(sp, dp, engine_of(src_node).now() + lookahead_,
                [this, stream, src_node, dst_node, end,
                 cb = std::move(on_delivered)]() mutable {
@@ -129,8 +129,8 @@ void Transport::send(std::uint64_t stream, int src_node, int dst_node,
 }
 
 Bytes Transport::window_bytes(const Sender& conn) const noexcept {
-  const Bytes cwnd_bytes =
-      static_cast<Bytes>(conn.cwnd * static_cast<double>(wire_.mss()));
+  const Bytes cwnd_bytes{
+      static_cast<std::uint64_t>(conn.cwnd * wire_.mss().to_double())};
   return std::min(cwnd_bytes, tcp_.recv_window);
 }
 
@@ -139,8 +139,7 @@ void Transport::pump(Sender& conn) {
     const Bytes in_flight = conn.snd_nxt - conn.snd_una;
     const Bytes window = window_bytes(conn);
     if (in_flight >= window) break;
-    const Bytes len = std::min({static_cast<Bytes>(wire_.mss()),
-                                conn.stream_end - conn.snd_nxt,
+    const Bytes len = std::min({wire_.mss(), conn.stream_end - conn.snd_nxt,
                                 window - in_flight});
     transmit_segment(conn, conn.snd_nxt, len);
     conn.snd_nxt += len;
@@ -148,8 +147,8 @@ void Transport::pump(Sender& conn) {
   if (conn.snd_una < conn.snd_nxt && !conn.rto_timer.valid()) arm_rto(conn);
 }
 
-void Transport::transmit_segment(Sender& conn, std::uint64_t seq, Bytes len) {
-  const int part = partition_of(conn.src);
+void Transport::transmit_segment(Sender& conn, SeqNo seq, Bytes len) {
+  const units::PartitionId part = partition_of(conn.src);
   Packet packet;
   packet.id = next_packet_id(part);
   packet.kind = PacketKind::kData;
@@ -159,7 +158,7 @@ void Transport::transmit_segment(Sender& conn, std::uint64_t seq, Bytes len) {
   packet.seq = seq;
   packet.payload = len;
   packet.wire_bytes = wire_.segment_wire_bytes(len);
-  ++shards_[static_cast<std::size_t>(part)].segments_sent;
+  ++shards_[static_cast<std::size_t>(part.value())].segments_sent;
   // The delivery callback runs in the destination partition; it captures
   // no sender state — the packet's conn field resolves the receiver half
   // there.
@@ -176,7 +175,7 @@ void Transport::send_ack(Receiver& conn) {
   packet.dst_node = conn.src;
   packet.conn = conn.id;
   packet.seq = conn.rcv_nxt;
-  packet.payload = 0;
+  packet.payload = Bytes{};
   packet.wire_bytes = wire_.ack_wire_bytes();
   network_.send(
       packet, [this](const Packet& arrived) { on_ack(arrived); },
@@ -185,9 +184,9 @@ void Transport::send_ack(Receiver& conn) {
 
 void Transport::on_data(const Packet& packet) {
   Receiver& conn = receiver_of(packet);
-  Shard& shard =
-      shards_[static_cast<std::size_t>(partition_of(packet.dst_node))];
-  const std::uint64_t seg_end = packet.seq + packet.payload;
+  Shard& shard = shards_[static_cast<std::size_t>(
+      partition_of(packet.dst_node).value())];
+  const SeqNo seg_end = packet.seq + packet.payload;
   if (seg_end <= conn.rcv_nxt) {
     // Duplicate of already-received data (e.g. a spurious retransmit):
     // re-ACK so the sender can make progress.
@@ -217,9 +216,9 @@ void Transport::on_data(const Packet& packet) {
 
 void Transport::on_ack(const Packet& packet) {
   Sender& conn = sender_of(packet);
-  Shard& shard =
-      shards_[static_cast<std::size_t>(partition_of(packet.dst_node))];
-  const std::uint64_t ackno = packet.seq;
+  Shard& shard = shards_[static_cast<std::size_t>(
+      partition_of(packet.dst_node).value())];
+  const SeqNo ackno = packet.seq;
   if (ackno > conn.snd_una) {
     conn.snd_una = ackno;
     conn.dupacks = 0;
@@ -228,11 +227,11 @@ void Transport::on_ack(const Packet& packet) {
     } else if (conn.in_recovery) {
       // NewReno partial ACK: the next hole is known lost — resend it now
       // rather than stalling until the RTO fires.
-      const Bytes len = std::min(static_cast<Bytes>(wire_.mss()),
-                                 conn.snd_nxt - conn.snd_una);
+      const Bytes len =
+          std::min(wire_.mss(), conn.snd_nxt - conn.snd_una);
       ++shard.retransmits;
-      trace_event(conn,
-                  "partial_ack_retransmit seq=" + std::to_string(conn.snd_una));
+      trace_event(conn, "partial_ack_retransmit seq=" +
+                            std::to_string(conn.snd_una.value()));
       transmit_segment(conn, conn.snd_una, len);
     }
     if (!conn.in_recovery) {
@@ -252,24 +251,26 @@ void Transport::on_ack(const Packet& packet) {
     ++conn.dupacks;
     if (conn.dupacks == tcp_.dupack_threshold && !conn.in_recovery) {
       // Fast retransmit: resend the missing head segment, halve the window.
-      const double flight = static_cast<double>(conn.snd_nxt - conn.snd_una) /
-                            static_cast<double>(wire_.mss());
+      const double flight =
+          (conn.snd_nxt - conn.snd_una).to_double() / wire_.mss().to_double();
       conn.ssthresh = std::max(flight / 2.0, 2.0);
       conn.cwnd = conn.ssthresh;
       conn.in_recovery = true;
       conn.recover_end = conn.snd_nxt;
-      const Bytes len = std::min(static_cast<Bytes>(wire_.mss()),
-                                 conn.snd_nxt - conn.snd_una);
+      const Bytes len =
+          std::min(wire_.mss(), conn.snd_nxt - conn.snd_una);
       ++shard.retransmits;
       ++shard.fast_retransmits;
-      trace_event(conn, "fast_retransmit seq=" + std::to_string(conn.snd_una));
+      trace_event(conn, "fast_retransmit seq=" +
+                            std::to_string(conn.snd_una.value()));
       transmit_segment(conn, conn.snd_una, len);
     }
   }
 }
 
 void Transport::on_rto(std::uint64_t stream, int src_node) {
-  Shard& shard = shards_[static_cast<std::size_t>(partition_of(src_node))];
+  Shard& shard =
+      shards_[static_cast<std::size_t>(partition_of(src_node).value())];
   const auto it = shard.senders.find(stream);
   if (it == shard.senders.end()) return;
   Sender& conn = it->second;
@@ -277,18 +278,17 @@ void Transport::on_rto(std::uint64_t stream, int src_node) {
   if (conn.snd_una >= conn.snd_nxt) return;  // everything got acknowledged
   ++shard.timeouts;
   ++shard.retransmits;
-  const double flight = static_cast<double>(conn.snd_nxt - conn.snd_una) /
-                        static_cast<double>(wire_.mss());
+  const double flight =
+      (conn.snd_nxt - conn.snd_una).to_double() / wire_.mss().to_double();
   conn.ssthresh = std::max(flight / 2.0, 2.0);
   conn.cwnd = 1.0;
   conn.dupacks = 0;
   conn.in_recovery = false;
   conn.rto = std::min(conn.rto * 2, tcp_.rto_max);  // exponential backoff
-  trace_event(conn, "rto_retransmit seq=" + std::to_string(conn.snd_una) +
-                        " next_rto_ms=" +
-                        std::to_string(des::to_millis(conn.rto)));
-  const Bytes len =
-      std::min(static_cast<Bytes>(wire_.mss()), conn.snd_nxt - conn.snd_una);
+  trace_event(conn,
+              "rto_retransmit seq=" + std::to_string(conn.snd_una.value()) +
+                  " next_rto_ms=" + std::to_string(des::to_millis(conn.rto)));
+  const Bytes len = std::min(wire_.mss(), conn.snd_nxt - conn.snd_una);
   transmit_segment(conn, conn.snd_una, len);
   arm_rto(conn);
 }

@@ -86,15 +86,15 @@ class Transport {
     std::uint64_t id = 0;
     int src = 0;
     int dst = 0;
-    std::uint64_t snd_una = 0;    ///< oldest unacknowledged byte
-    std::uint64_t snd_nxt = 0;    ///< next byte to transmit
-    std::uint64_t stream_end = 0; ///< total bytes submitted
+    SeqNo snd_una{};              ///< oldest unacknowledged byte
+    SeqNo snd_nxt{};              ///< next byte to transmit
+    SeqNo stream_end{};           ///< total bytes submitted
     double cwnd = 2.0;            ///< congestion window, segments
     double ssthresh = 64.0;       ///< slow-start threshold, segments
     int dupacks = 0;
     bool in_recovery = false;
-    std::uint64_t recover_end = 0;
-    des::SimTime rto = 0;
+    SeqNo recover_end{};
+    des::Duration rto{};
     des::Engine::EventId rto_timer{};
   };
 
@@ -103,9 +103,9 @@ class Transport {
     std::uint64_t id = 0;
     int src = 0;
     int dst = 0;
-    std::uint64_t rcv_nxt = 0;
-    std::map<std::uint64_t, Bytes> out_of_order;  ///< start -> length
-    std::deque<std::pair<std::uint64_t, DeliveredFn>> pending;  ///< (end, cb)
+    SeqNo rcv_nxt{};
+    std::map<SeqNo, Bytes> out_of_order;          ///< start -> length
+    std::deque<std::pair<SeqNo, DeliveredFn>> pending;  ///< (end, cb)
   };
 
   /// Per-partition transport state; every field is touched only from its
@@ -121,7 +121,7 @@ class Transport {
     std::uint64_t messages_delivered = 0;
   };
 
-  [[nodiscard]] int partition_of(int node) const noexcept {
+  [[nodiscard]] units::PartitionId partition_of(int node) const noexcept {
     return network_.partition_of_node(node);
   }
   [[nodiscard]] des::Engine& engine_of(int node) const {
@@ -132,12 +132,12 @@ class Transport {
   [[nodiscard]] Receiver& receiver_of(const Packet& data_packet);
   /// Creates/locates the receiver half and appends one pending message.
   /// Runs in the destination partition's context.
-  void register_message(std::uint64_t stream, int src, int dst,
-                        std::uint64_t end, DeliveredFn cb);
-  [[nodiscard]] std::uint64_t next_packet_id(int part) noexcept;
+  void register_message(std::uint64_t stream, int src, int dst, SeqNo end,
+                        DeliveredFn cb);
+  [[nodiscard]] std::uint64_t next_packet_id(units::PartitionId part) noexcept;
 
   void pump(Sender& conn);
-  void transmit_segment(Sender& conn, std::uint64_t seq, Bytes len);
+  void transmit_segment(Sender& conn, SeqNo seq, Bytes len);
   void send_ack(Receiver& conn);
   void on_data(const Packet& packet);
   void on_ack(const Packet& packet);
@@ -152,7 +152,7 @@ class Transport {
   Network& network_;
   const TcpParams tcp_;
   const WireFormat wire_;
-  const des::SimTime lookahead_;
+  const des::Duration lookahead_;
   trace::Tracer* tracer_ = nullptr;
 
   std::vector<Shard> shards_;

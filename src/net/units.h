@@ -1,13 +1,21 @@
 // Byte counts and transmission rates for the network model.
+//
+// Bytes is the strong byte-count type from core/units.h (no implicit
+// integer conversion; see that header for the operator algebra). Rate is
+// the one double-valued quantity in the network layer — bits per second —
+// and its time_to_send() is a declared conversion boundary: it rounds a
+// serialisation time onto the integer-nanosecond Duration grid.
 #pragma once
 
 #include <cstdint>
 
+#include "core/units.h"
 #include "des/time.h"
 
 namespace net {
 
-using Bytes = std::uint64_t;
+using units::Bytes;
+using units::SeqNo;
 
 /// A transmission rate. Stored in bits per second; converts byte counts to
 /// serialisation times on the wire.
@@ -33,9 +41,8 @@ class Rate {
   }
 
   /// Time to serialise `n` bytes onto the wire at this rate.
-  [[nodiscard]] constexpr des::SimTime time_to_send(Bytes n) const noexcept {
-    return static_cast<des::SimTime>(static_cast<double>(n) * 8.0 / bps_ * 1e9 +
-                                     0.5);
+  [[nodiscard]] constexpr des::Duration time_to_send(Bytes n) const noexcept {
+    return des::Duration::from_seconds(n.to_double() * 8.0 / bps_);
   }
 
  private:
@@ -44,10 +51,10 @@ class Rate {
 };
 
 inline constexpr Bytes operator""_KiB(unsigned long long v) noexcept {
-  return static_cast<Bytes>(v) * 1024;
+  return Bytes{static_cast<std::uint64_t>(v) * 1024};
 }
 inline constexpr Bytes operator""_MiB(unsigned long long v) noexcept {
-  return static_cast<Bytes>(v) * 1024 * 1024;
+  return Bytes{static_cast<std::uint64_t>(v) * 1024 * 1024};
 }
 
 }  // namespace net

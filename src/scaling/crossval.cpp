@@ -48,7 +48,7 @@ CrossValidationReport cross_validate(const mpibench::DistributionTable& table,
       mpibench::OpKind::kReduce,    mpibench::OpKind::kPtpSender};
   for (const mpibench::OpKind op : kOps) {
     struct Cell {
-      net::Bytes size = 0;
+      net::Bytes size{};
       int contention = 0;
       const stats::EmpiricalDistribution* dist = nullptr;
     };
@@ -75,7 +75,7 @@ CrossValidationReport cross_validate(const mpibench::DistributionTable& table,
         for (std::size_t i = 0; i < cells.size(); ++i) {
           if (i == held) continue;
           points.push_back(Observation{
-              static_cast<double>(cells[i].size),
+              cells[i].size.to_double(),
               static_cast<double>(cells[i].contention),
               cells[i].dist->quantile(q)});
         }
@@ -85,7 +85,7 @@ CrossValidationReport cross_validate(const mpibench::DistributionTable& table,
       // Predict exactly what the sampler would consume: floored + sorted.
       const std::array<double, ScalingModel::kTracks> predicted =
           evaluate_tracks(tracks,
-                          static_cast<double>(cells[held].size),
+                          cells[held].size.to_double(),
                           static_cast<double>(cells[held].contention));
       std::vector<double> cell_errors;
       cell_errors.reserve(ScalingModel::kTracks);

@@ -18,7 +18,7 @@ namespace scaling {
 /// One held-out grid point: summary of the per-track relative errors.
 struct CrossValidationCell {
   mpibench::OpKind op = mpibench::OpKind::kPtpOneWay;
-  net::Bytes size_bytes = 0;
+  net::Bytes size_bytes{};
   int contention = 0;
   double median_rel_error = 0.0;  ///< median over quantile tracks
   double max_rel_error = 0.0;     ///< worst quantile track

@@ -53,7 +53,7 @@ std::array<double, ScalingModel::kTracks> ScalingModel::quantiles(
 stats::EmpiricalDistribution ScalingModel::distribution(
     mpibench::OpKind op, net::Bytes size_bytes, int contention) const {
   const std::array<double, kTracks> values =
-      quantiles(op, static_cast<double>(size_bytes), contention);
+      quantiles(op, size_bytes.to_double(), contention);
   return stats::EmpiricalDistribution::from_samples(values);
 }
 
@@ -102,7 +102,7 @@ ScalingModel fit_scaling_model(const mpibench::DistributionTable& table,
     // Exact grid points only: interpolated lookups are derived from these
     // and would weight the fit toward whatever the query pattern was.
     struct Cell {
-      net::Bytes size = 0;
+      net::Bytes size{};
       int contention = 0;
       const stats::EmpiricalDistribution* dist = nullptr;
     };
@@ -123,7 +123,7 @@ ScalingModel fit_scaling_model(const mpibench::DistributionTable& table,
     for (int track = 0; track < ScalingModel::kTracks; ++track) {
       const double q = ScalingModel::track_quantile(track);
       for (std::size_t i = 0; i < cells.size(); ++i) {
-        points[i] = Observation{static_cast<double>(cells[i].size),
+        points[i] = Observation{cells[i].size.to_double(),
                                 static_cast<double>(cells[i].contention),
                                 cells[i].dist->quantile(q)};
       }

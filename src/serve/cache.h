@@ -81,6 +81,14 @@ class ArtifactCache {
 
   void clear() EXCLUDES(mu_);
 
+  /// The entry-map lock, exposed for lock-order declarations only
+  /// (Service::mu_ is ACQUIRED_BEFORE this: stats() queries the cache
+  /// with the service lock held). Leaf: get_or_load runs the loader
+  /// outside the lock and never acquires another mutex under it.
+  [[nodiscard]] pevpm::Mutex& mutex() const RETURN_CAPABILITY(mu_) {
+    return mu_;
+  }
+
  private:
   enum class Kind : int { kModel, kTable, kCluster, kScaling };
 

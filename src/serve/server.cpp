@@ -301,7 +301,7 @@ Json Server::dispatch(const Json& request) {
 
 Json Server::handle_predict(const Json& request) {
   pevpm::PredictRequest predict;
-  double deadline_ms = 0.0;
+  units::Duration deadline{};
 
   // Model / table: by server-side path or as inline text.
   std::string error;
@@ -384,11 +384,11 @@ Json Server::handle_predict(const Json& request) {
       predict.overrides[name] = value.as_double();
     }
   }
-  if (const Json* deadline = request.find("deadline_ms")) {
-    deadline_ms = deadline->as_double();
+  if (const Json* deadline_json = request.find("deadline_ms")) {
+    deadline = units::Duration::from_millis(deadline_json->as_double());
   }
 
-  const Service::Response result = service_.predict(predict, deadline_ms);
+  const Service::Response result = service_.predict(predict, deadline);
   Json response;
   response.set("status", Json{result.status});
   if (result.status == 200) {
@@ -397,7 +397,7 @@ Json Server::handle_predict(const Json& request) {
   } else {
     response.set("error", Json{result.error});
     if (result.status == 503) {
-      response.set("retry_after_ms", Json{result.retry_after_ms});
+      response.set("retry_after_ms", Json{result.retry_after.to_millis()});
     }
   }
   return response;

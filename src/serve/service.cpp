@@ -36,20 +36,21 @@ Service::Service(const ServiceOptions& options)
 
 Service::~Service() { drain(); }
 
-std::int64_t Service::now_ns() const {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
-                                                              epoch_)
-      .count();
+des::SimTime Service::now() const {
+  return des::SimTime{
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           epoch_)
+          .count()};
 }
 
 void Service::record_event(std::int64_t subject, const std::string& detail) {
   if (options_.tracer != nullptr && options_.tracer->enabled()) {
-    options_.tracer->record(now_ns(), trace::Category::kServe, subject,
+    options_.tracer->record(now(), trace::Category::kServe, subject,
                             detail);
   }
 }
 
-double Service::retry_after_ms_locked() const {
+units::Duration Service::retry_after_locked() const {
   // Little's-law flavoured hint: the backlog ahead of a retry, paced by the
   // pool, at the recently observed per-request latency.
   double mean_latency_ms = 50.0;  // cold-start guess
@@ -62,7 +63,7 @@ double Service::retry_after_ms_locked() const {
   const double backlog = static_cast<double>(jobs_.size() + 1);
   const double hint =
       mean_latency_ms * backlog / static_cast<double>(pool_.size());
-  return std::max(1.0, hint);
+  return units::Duration::from_millis(std::max(1.0, hint));
 }
 
 void Service::finalize(Job& job) {
@@ -190,7 +191,7 @@ void Service::drain_loop() {
 }
 
 Service::Response Service::predict(const pevpm::PredictRequest& request,
-                                   double deadline_ms) {
+                                   units::Duration deadline) {
   Response response;
 
   // Resolve artifacts before admission: a malformed request is the
@@ -262,18 +263,18 @@ Service::Response Service::predict(const pevpm::PredictRequest& request,
                  "request rejected: draining");
     response.status = 503;
     response.error = "service is draining";
-    response.retry_after_ms = retry_after_ms_locked();
+    response.retry_after = retry_after_locked();
     return response;
   }
   if (jobs_.size() >= options_.queue_capacity) {
     ++rejected_;
-    response.retry_after_ms = retry_after_ms_locked();
+    response.retry_after = retry_after_locked();
     record_event(static_cast<std::int64_t>(job.id),
                  "request rejected: queue full (" +
                      std::to_string(jobs_.size()) + "/" +
                      std::to_string(options_.queue_capacity) +
                      "), retry_after_ms=" +
-                     std::to_string(response.retry_after_ms));
+                     std::to_string(response.retry_after.to_millis()));
     response.status = 503;
     response.error = "request queue is full";
     return response;
@@ -281,14 +282,13 @@ Service::Response Service::predict(const pevpm::PredictRequest& request,
   ++accepted_;
   if (job.scaling != nullptr) ++extrapolations_;
   job.admitted_at = Clock::now();
-  const double effective_deadline =
-      deadline_ms > 0.0 ? deadline_ms : options_.default_deadline_ms;
-  if (effective_deadline > 0.0) {
+  const units::Duration effective_deadline =
+      deadline > units::Duration{} ? deadline : options_.default_deadline;
+  if (effective_deadline > units::Duration{}) {
     job.has_deadline = true;
-    job.deadline =
-        job.admitted_at +
-        std::chrono::duration_cast<Clock::duration>(
-            std::chrono::duration<double, std::milli>(effective_deadline));
+    job.deadline = job.admitted_at + std::chrono::duration_cast<Clock::duration>(
+                                         std::chrono::nanoseconds{
+                                             effective_deadline.ns()});
   }
   jobs_.push_back(&job);
   record_event(static_cast<std::int64_t>(job.id),

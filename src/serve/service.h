@@ -52,8 +52,9 @@ struct ServiceOptions {
   std::size_t queue_capacity = 64;
   /// Resident parsed artifacts (models + tables + clusters).
   std::size_t cache_capacity = 32;
-  /// Deadline applied to requests that do not carry their own (0 = none).
-  double default_deadline_ms = 0.0;
+  /// Deadline applied to requests that do not carry their own (zero =
+  /// none). The JSON boundary converts via Duration::from_millis.
+  units::Duration default_deadline{};
   /// Optional request-lifecycle tracer (Category::kServe events, wall-clock
   /// nanoseconds since service construction).
   trace::Tracer* tracer = nullptr;
@@ -86,7 +87,7 @@ class Service {
     /// (queue full or draining) | 504 deadline exceeded.
     int status = 200;
     std::string error;
-    double retry_after_ms = 0.0;  ///< populated on 503
+    units::Duration retry_after{};  ///< populated on 503
     std::string summary;          ///< populated on 200
     bool deadlocked = false;
   };
@@ -98,12 +99,13 @@ class Service {
   Service& operator=(const Service&) = delete;
 
   /// Runs one prediction request to completion (blocking; call from the
-  /// per-connection thread). `deadline_ms` <= 0 falls back to the service
-  /// default. The request's own `options.threads` is ignored: scheduling
-  /// belongs to the service, and determinism makes the thread count
-  /// unobservable in the reply.
+  /// per-connection thread). A non-positive `deadline` falls back to the
+  /// service default. The request's own `options.threads` is ignored:
+  /// scheduling belongs to the service, and determinism makes the thread
+  /// count unobservable in the reply.
   [[nodiscard]] Response predict(const pevpm::PredictRequest& request,
-                                 double deadline_ms = 0.0) EXCLUDES(mu_);
+                                 units::Duration deadline = units::Duration{})
+      EXCLUDES(mu_);
 
   /// Parses a cluster description (over the Perseus preset, exactly like
   /// `mpibench --cluster`) and returns net::describe() of it. Cached like
@@ -166,13 +168,26 @@ class Service {
   void finalize(Job& job) REQUIRES(mu_);
   void spawn_drainers() REQUIRES(mu_);
   void record_event(std::int64_t subject, const std::string& detail);
-  [[nodiscard]] std::int64_t now_ns() const;
-  [[nodiscard]] double retry_after_ms_locked() const REQUIRES(mu_);
+  /// Wall-clock instant on the service's own clock (ns since construction).
+  [[nodiscard]] des::SimTime now() const;
+  [[nodiscard]] units::Duration retry_after_locked() const REQUIRES(mu_);
 
   ServiceOptions options_;
   ArtifactCache cache_;
 
-  mutable pevpm::Mutex mu_;
+  /// Root of the serve-side lock order. Code paths that hold mu_ may
+  /// acquire, in nested scope: the artifact cache's lock (stats()), the
+  /// tracer's record lock (record_event under admission/finalize), and
+  /// the worker pool's queue lock (spawn_drainers -> ThreadPool::submit).
+  /// All three are leaves — none acquires anything further — so the graph
+  /// is a star and cannot cycle. Declared here so clang's
+  /// -Wthread-safety-beta lock-order analysis checks every acquisition
+  /// against it. Server::connections_mu_ is outside the graph: it is
+  /// never held across a Service call (shutdown() drains first, then
+  /// sweeps connections).
+  mutable pevpm::Mutex mu_ ACQUIRED_BEFORE(cache_.mutex(),
+                                           pool_.mutex(),
+                                           options_.tracer->mutex());
   std::vector<Job*> jobs_ GUARDED_BY(mu_);  ///< active jobs, admission order
   std::size_t cursor_ GUARDED_BY(mu_) = 0;  ///< round-robin position in jobs_
   pevpm::CondVar idle_cv_;                  ///< signalled when jobs_ empties

@@ -19,11 +19,11 @@ std::string_view to_string(Category category) noexcept {
   return "unknown";
 }
 
-void Tracer::record(std::int64_t time_ns, Category category,
+void Tracer::record(des::SimTime time, Category category,
                     std::int64_t subject, std::string detail) {
   if (!enabled()) return;
   pevpm::MutexLock lock{mu_};
-  records_.push_back(Record{time_ns, category, subject, std::move(detail)});
+  records_.push_back(Record{time, category, subject, std::move(detail)});
 }
 
 std::size_t Tracer::size() const {
@@ -49,7 +49,7 @@ void Tracer::dump_csv(std::ostream& os) const {
   pevpm::MutexLock lock{mu_};
   os << "time_ns,category,subject,detail\n";
   for (const auto& record : records_) {
-    os << record.time_ns << ',' << to_string(record.category) << ','
+    os << record.time.ns() << ',' << to_string(record.category) << ','
        << record.subject << ',' << record.detail << '\n';
   }
 }

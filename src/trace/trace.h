@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/thread_annotations.h"
+#include "des/time.h"
 
 namespace trace {
 
@@ -36,7 +37,7 @@ enum class Category : std::uint8_t {
 [[nodiscard]] std::string_view to_string(Category category) noexcept;
 
 struct Record {
-  std::int64_t time_ns = 0;
+  des::SimTime time{};
   Category category = Category::kProcess;
   std::int64_t subject = -1;
   std::string detail;
@@ -52,7 +53,7 @@ class Tracer {
     return enabled_.load(std::memory_order_relaxed);
   }
 
-  void record(std::int64_t time_ns, Category category, std::int64_t subject,
+  void record(des::SimTime time, Category category, std::int64_t subject,
               std::string detail) EXCLUDES(mu_);
 
   /// Unsynchronised view of the records; callers must ensure no thread is
@@ -69,6 +70,13 @@ class Tracer {
 
   /// CSV rows "time_ns,category,subject,detail".
   void dump_csv(std::ostream& os) const EXCLUDES(mu_);
+
+  /// The record lock, exposed for lock-order declarations only
+  /// (serve::Service::mu_ is ACQUIRED_BEFORE this). Leaf of the lock
+  /// graph: record() and the readers never acquire another mutex.
+  [[nodiscard]] pevpm::Mutex& mutex() const RETURN_CAPABILITY(mu_) {
+    return mu_;
+  }
 
  private:
   std::atomic<bool> enabled_{false};

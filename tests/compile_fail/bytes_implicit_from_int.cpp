@@ -1,0 +1,9 @@
+// MUST NOT COMPILE: Bytes construction is explicit — `sizes = {1024}`
+// style copy-initialisation from a bare integer is how a count and a
+// byte size get silently confused (see the vector<Bytes>{1024} pitfall).
+#include "core/units.h"
+
+units::Bytes f() {
+  units::Bytes b = 1024;
+  return b;
+}

@@ -1,0 +1,5 @@
+// MUST NOT COMPILE: bytes-squared is not a quantity the simulator has;
+// scaling a byte count takes a dimensionless integer factor.
+#include "core/units.h"
+
+units::Bytes f(units::Bytes a, units::Bytes b) { return a * b; }

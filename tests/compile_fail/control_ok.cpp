@@ -1,0 +1,11 @@
+// Positive control: the valid operator set MUST compile, so that the
+// WILL_FAIL cases in this directory fail for the rejected expression and
+// not for a broken include path or flag.
+#include "core/units.h"
+
+units::SimTime g(units::SimTime t, units::Duration d) { return t + d; }
+units::Duration h(units::SimTime a, units::SimTime b) { return a - b; }
+units::SeqNo k(units::SeqNo s, units::Bytes b) { return s + b; }
+units::Duration m() { return units::Duration::from_micros(1.5); }
+static_assert(units::Bytes{6} / units::Bytes{3} == 2);
+static_assert(units::kNever > units::SimTime{0});

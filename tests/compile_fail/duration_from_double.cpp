@@ -1,0 +1,6 @@
+// MUST NOT COMPILE: a bare floating-point value carries no unit; the
+// deleted float constructor forces Duration::from_seconds / from_micros
+// at the boundary.
+#include "core/units.h"
+
+units::Duration f() { return units::Duration{1.5}; }

@@ -1,0 +1,6 @@
+// MUST NOT COMPILE: span minus instant is dimensionally meaningless
+// (instant minus instant yields the span, instant minus span an earlier
+// instant).
+#include "core/units.h"
+
+units::Duration f(units::Duration d, units::SimTime t) { return d - t; }

@@ -1,0 +1,6 @@
+// MUST NOT COMPILE: Rank and PartitionId are distinct identifiers; a
+// swapped argument or assignment is exactly the bug the types exist to
+// catch.
+#include "core/units.h"
+
+units::Rank f(units::PartitionId p) { return p; }

@@ -1,0 +1,5 @@
+// MUST NOT COMPILE: stream offsets advance by byte counts; adding two
+// offsets, like adding two instants, has no meaning.
+#include "core/units.h"
+
+units::SeqNo f(units::SeqNo a, units::SeqNo b) { return a + b; }

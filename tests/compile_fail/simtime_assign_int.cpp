@@ -1,0 +1,6 @@
+// MUST NOT COMPILE: an untagged integer is not an instant; SimTime comes
+// from the engine clock or SimTime::from_ns, never from a bare literal
+// mid-expression.
+#include "core/units.h"
+
+void f(units::SimTime t) { t = 5; }

@@ -1,0 +1,5 @@
+// MUST NOT COMPILE: instants are points, not amounts — adding two of
+// them has no meaning (SimTime + Duration is the valid form).
+#include "core/units.h"
+
+units::SimTime f(units::SimTime a, units::SimTime b) { return a + b; }

@@ -14,38 +14,38 @@ namespace {
 TEST(Engine, ExecutesInTimeOrder) {
   des::Engine engine;
   std::vector<int> order;
-  engine.schedule_at(30, [&] { order.push_back(3); });
-  engine.schedule_at(10, [&] { order.push_back(1); });
-  engine.schedule_at(20, [&] { order.push_back(2); });
+  engine.schedule_at(des::SimTime{30}, [&] { order.push_back(3); });
+  engine.schedule_at(des::SimTime{10}, [&] { order.push_back(1); });
+  engine.schedule_at(des::SimTime{20}, [&] { order.push_back(2); });
   engine.run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
-  EXPECT_EQ(engine.now(), 30);
+  EXPECT_EQ(engine.now(), des::SimTime{30});
   EXPECT_EQ(engine.processed(), 3u);
 }
 
 TEST(Engine, SameTimeOrderedByPriorityThenSeq) {
   des::Engine engine;
   std::vector<std::string> order;
-  engine.schedule_at(5, [&] { order.push_back("b1"); }, 1);
-  engine.schedule_at(5, [&] { order.push_back("a1"); }, 0);
-  engine.schedule_at(5, [&] { order.push_back("b2"); }, 1);
-  engine.schedule_at(5, [&] { order.push_back("a2"); }, 0);
+  engine.schedule_at(des::SimTime{5}, [&] { order.push_back("b1"); }, 1);
+  engine.schedule_at(des::SimTime{5}, [&] { order.push_back("a1"); }, 0);
+  engine.schedule_at(des::SimTime{5}, [&] { order.push_back("b2"); }, 1);
+  engine.schedule_at(des::SimTime{5}, [&] { order.push_back("a2"); }, 0);
   engine.run();
   EXPECT_EQ(order, (std::vector<std::string>{"a1", "a2", "b1", "b2"}));
 }
 
 TEST(Engine, SchedulingInThePastThrows) {
   des::Engine engine;
-  engine.schedule_at(10, [] {});
+  engine.schedule_at(des::SimTime{10}, [] {});
   engine.run();
-  EXPECT_THROW(engine.schedule_at(5, [] {}), std::invalid_argument);
-  EXPECT_THROW(engine.schedule_in(-1, [] {}), std::invalid_argument);
+  EXPECT_THROW(engine.schedule_at(des::SimTime{5}, [] {}), std::invalid_argument);
+  EXPECT_THROW(engine.schedule_in(des::Duration{-1}, [] {}), std::invalid_argument);
 }
 
 TEST(Engine, CancelPreventsExecution) {
   des::Engine engine;
   bool ran = false;
-  const auto id = engine.schedule_at(10, [&] { ran = true; });
+  const auto id = engine.schedule_at(des::SimTime{10}, [&] { ran = true; });
   EXPECT_TRUE(engine.cancel(id));
   EXPECT_FALSE(engine.cancel(id));  // double-cancel reports failure
   engine.run();
@@ -55,7 +55,7 @@ TEST(Engine, CancelPreventsExecution) {
 
 TEST(Engine, CancelAfterExecutionReturnsFalse) {
   des::Engine engine;
-  const auto id = engine.schedule_at(1, [] {});
+  const auto id = engine.schedule_at(des::SimTime{1}, [] {});
   engine.run();
   EXPECT_FALSE(engine.cancel(id));
 }
@@ -67,8 +67,8 @@ TEST(Engine, CancelInvalidIdReturnsFalse) {
 
 TEST(Engine, PendingCountsExcludeCancelled) {
   des::Engine engine;
-  engine.schedule_at(1, [] {});
-  const auto id = engine.schedule_at(2, [] {});
+  engine.schedule_at(des::SimTime{1}, [] {});
+  const auto id = engine.schedule_at(des::SimTime{2}, [] {});
   EXPECT_EQ(engine.pending(), 2u);
   engine.cancel(id);
   EXPECT_EQ(engine.pending(), 1u);
@@ -80,11 +80,11 @@ TEST(Engine, PendingCountsExcludeCancelled) {
 TEST(Engine, RunUntilAdvancesClockWithoutOverrunning) {
   des::Engine engine;
   std::vector<int> hits;
-  engine.schedule_at(10, [&] { hits.push_back(10); });
-  engine.schedule_at(30, [&] { hits.push_back(30); });
-  engine.run_until(20);
+  engine.schedule_at(des::SimTime{10}, [&] { hits.push_back(10); });
+  engine.schedule_at(des::SimTime{30}, [&] { hits.push_back(30); });
+  engine.run_until(des::SimTime{20});
   EXPECT_EQ(hits, std::vector<int>{10});
-  EXPECT_EQ(engine.now(), 20);
+  EXPECT_EQ(engine.now(), des::SimTime{20});
   engine.run();
   EXPECT_EQ(hits, (std::vector<int>{10, 30}));
 }
@@ -93,33 +93,34 @@ TEST(Engine, EventsCanScheduleEvents) {
   des::Engine engine;
   int depth = 0;
   std::function<void()> chain = [&] {
-    if (++depth < 5) engine.schedule_in(10, chain);
+    if (++depth < 5) engine.schedule_in(des::Duration{10}, chain);
   };
-  engine.schedule_at(0, chain);
+  engine.schedule_at(des::SimTime{0}, chain);
   engine.run();
   EXPECT_EQ(depth, 5);
-  EXPECT_EQ(engine.now(), 40);
+  EXPECT_EQ(engine.now(), des::SimTime{40});
 }
 
 TEST(Process, DelayAdvancesVirtualTime) {
   des::Engine engine;
-  des::SimTime finish = -1;
+  des::SimTime finish{-1};
   std::unique_ptr<des::Process> worker;
   worker = std::make_unique<des::Process>(engine, "w", [&] {
-    worker->delay(100);
-    worker->delay(250);
+    worker->delay(des::Duration{100});
+    worker->delay(des::Duration{250});
     finish = engine.now();
   });
   engine.run();
-  EXPECT_EQ(finish, 350);
+  EXPECT_EQ(finish, des::SimTime{350});
 }
 
 TEST(Process, StartAtDelaysFirstActivation) {
   des::Engine engine;
-  des::SimTime started = -1;
-  des::Process proc{engine, "p", [&] { started = engine.now(); }, 500};
+  des::SimTime started{-1};
+  des::Process proc{engine, "p", [&] { started = engine.now(); },
+                    des::SimTime{500}};
   engine.run();
-  EXPECT_EQ(started, 500);
+  EXPECT_EQ(started, des::SimTime{500});
   EXPECT_TRUE(proc.finished());
 }
 
@@ -138,7 +139,7 @@ TEST(Process, UnparkBeforeParkIsNotLost) {
 
 TEST(Process, ParkBlocksUntilUnparked) {
   des::Engine engine;
-  des::SimTime woke = -1;
+  des::SimTime woke{-1};
   std::unique_ptr<des::Process> sleeper;
   sleeper = std::make_unique<des::Process>(engine, "sleeper", [&] {
     sleeper->park();
@@ -146,44 +147,44 @@ TEST(Process, ParkBlocksUntilUnparked) {
   });
   std::unique_ptr<des::Process> waker;
   waker = std::make_unique<des::Process>(engine, "waker", [&] {
-    waker->delay(777);
+    waker->delay(des::Duration{777});
     sleeper->unpark();
   });
   engine.run();
-  EXPECT_EQ(woke, 777);
+  EXPECT_EQ(woke, des::SimTime{777});
 }
 
 TEST(Process, ParkUntilTimesOut) {
   des::Engine engine;
   bool got_permit = true;
-  des::SimTime after = -1;
+  des::SimTime after{-1};
   std::unique_ptr<des::Process> proc;
   proc = std::make_unique<des::Process>(engine, "p", [&] {
-    got_permit = proc->park_until(1000);
+    got_permit = proc->park_until(des::SimTime{1000});
     after = engine.now();
   });
   engine.run();
   EXPECT_FALSE(got_permit);
-  EXPECT_EQ(after, 1000);
+  EXPECT_EQ(after, des::SimTime{1000});
 }
 
 TEST(Process, ParkUntilSucceedsBeforeDeadline) {
   des::Engine engine;
   bool got_permit = false;
-  des::SimTime after = -1;
+  des::SimTime after{-1};
   std::unique_ptr<des::Process> sleeper;
   sleeper = std::make_unique<des::Process>(engine, "sleeper", [&] {
-    got_permit = sleeper->park_until(1000);
+    got_permit = sleeper->park_until(des::SimTime{1000});
     after = engine.now();
   });
   std::unique_ptr<des::Process> waker;
   waker = std::make_unique<des::Process>(engine, "waker", [&] {
-    waker->delay(300);
+    waker->delay(des::Duration{300});
     sleeper->unpark();
   });
   engine.run();
   EXPECT_TRUE(got_permit);
-  EXPECT_EQ(after, 300);
+  EXPECT_EQ(after, des::SimTime{300});
 }
 
 TEST(Process, DestructorKillsBlockedProcess) {
@@ -225,7 +226,7 @@ TEST(Process, ManyProcessesInterleaveDeterministically) {
       procs.push_back(std::make_unique<des::Process>(
           engine, "p" + std::to_string(i), [&, i] {
             for (int k = 0; k < 3; ++k) {
-              procs[i]->delay(10 * (i + 1));
+              procs[i]->delay(des::Duration{10 * (i + 1)});
               order.push_back(i);
             }
           }));

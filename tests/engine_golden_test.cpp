@@ -39,7 +39,7 @@ class RefEngine {
     live_.insert(seq);
     return EventId{seq};
   }
-  EventId schedule_in(des::SimTime dt, Callback fn, int priority = 0) {
+  EventId schedule_in(des::Duration dt, Callback fn, int priority = 0) {
     return schedule_at(now_ + dt, std::move(fn), priority);
   }
   bool cancel(EventId id) {
@@ -59,7 +59,7 @@ class RefEngine {
 
  private:
   struct Event {
-    des::SimTime time = 0;
+    des::SimTime time{};
     int priority = 0;
     std::uint64_t seq = 0;
     Callback fn;
@@ -74,14 +74,14 @@ class RefEngine {
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::unordered_set<std::uint64_t> live_;
   std::unordered_set<std::uint64_t> cancelled_;
-  des::SimTime now_ = 0;
+  des::SimTime now_{};
   std::uint64_t next_seq_ = 1;
 };
 
 /// One recorded execution step: which scripted event ran, and when.
 struct Fired {
   int label = 0;
-  des::SimTime at = 0;
+  des::SimTime at{};
 
   bool operator==(const Fired&) const = default;
 };
@@ -94,7 +94,7 @@ struct Fired {
 struct ScriptOp {
   enum Kind { kSchedule, kCancel } kind = kSchedule;
   int label = 0;        ///< identity of the scheduled event
-  des::SimTime at = 0;  ///< absolute time (top-level) or now-offset (nested)
+  std::int64_t at = 0;  ///< absolute ns (top-level) or now-offset (nested)
   int priority = 0;
   int cancel_label = 0;  ///< label whose event to cancel (cancel)
 };
@@ -125,8 +125,11 @@ std::vector<Fired> replay(const Script& script) {
         }
       }
     };
-    ids[op.label] = nested ? engine.schedule_in(op.at, callback, op.priority)
-                           : engine.schedule_at(op.at, callback, op.priority);
+    ids[op.label] = nested
+                        ? engine.schedule_in(des::Duration{op.at}, callback,
+                                             op.priority)
+                        : engine.schedule_at(des::SimTime{op.at}, callback,
+                                             op.priority);
   };
   for (const ScriptOp& op : script.top_level) apply(op, false);
   engine.run();
@@ -183,17 +186,19 @@ TEST(EngineGolden, RandomInterleavingsMatchReference) {
     };
     Script script;
     int next_label = 1;
-    const auto make_op = [&](des::SimTime base) {
+    const auto make_op = [&](std::int64_t base) {
       if (next_label > 1 && rnd(4) == 0) {
         return ScriptOp{ScriptOp::kCancel, 0, 0, 0,
                         static_cast<int>(1 + rnd(next_label - 1))};
       }
       const int label = next_label++;
       return ScriptOp{ScriptOp::kSchedule, label,
-                      base + static_cast<des::SimTime>(rnd(8)),
+                      base + static_cast<std::int64_t>(rnd(8)),
                       static_cast<int>(rnd(3)) - 1, 0};
     };
-    for (int i = 0; i < 40; ++i) script.top_level.push_back(make_op(rnd(20)));
+    for (int i = 0; i < 40; ++i) {
+      script.top_level.push_back(make_op(static_cast<std::int64_t>(rnd(20))));
+    }
     for (int label = 1; label < next_label; ++label) {
       if (rnd(3) != 0) continue;
       std::vector<ScriptOp> ops;
@@ -218,7 +223,7 @@ TEST(EngineGolden, CancellationStress) {
   std::vector<int> fired;
   constexpr int kEvents = 2000;
   for (int i = 0; i < kEvents; ++i) {
-    ids.push_back(engine.schedule_at(10 + (i % 97), [&fired, i] {
+    ids.push_back(engine.schedule_at(des::SimTime{10 + (i % 97)}, [&fired, i] {
       fired.push_back(i);
     }));
   }
@@ -241,9 +246,9 @@ TEST(EngineGolden, StaleHandleAfterSlotReuseIsRejected) {
   // unrelated event that happens to recycle the same pool slot.
   des::Engine engine;
   bool second_ran = false;
-  const auto first = engine.schedule_at(1, [] {});
+  const auto first = engine.schedule_at(des::SimTime{1}, [] {});
   engine.run();  // first's slot is released and goes back on the free list
-  const auto second = engine.schedule_at(2, [&second_ran] {
+  const auto second = engine.schedule_at(des::SimTime{2}, [&second_ran] {
     second_ran = true;
   });
   EXPECT_EQ(first.slot, second.slot) << "test assumes LIFO slot reuse";
@@ -278,12 +283,12 @@ TEST(EngineGolden, CancelFromInsideCallbackOfSameTimestamp) {
 struct PartFired {
   int partition = 0;
   int label = 0;
-  des::SimTime at = 0;
+  des::SimTime at{};
 
   bool operator==(const PartFired&) const = default;
 };
 
-constexpr des::SimTime kLookahead = 10;
+constexpr des::Duration kLookahead{10};
 
 /// Replays a seeded random partitioned workload: every partition starts
 /// with a few local events; each event may schedule further local work at
@@ -314,7 +319,7 @@ std::vector<std::vector<PartFired>> replay_partitioned(std::uint64_t seed,
   // fans out bounded further work.
   std::function<void(int, int, int)> body = [&](int part, int label,
                                                 int depth) {
-    des::Engine& engine = sim.engine(part);
+    des::Engine& engine = sim.engine(des::PartitionId{part});
     streams[part].push_back(PartFired{part, label, engine.now()});
     if (depth >= 3) return;
     const std::uint64_t r = mix(static_cast<std::uint64_t>(part) * 1000 + label,
@@ -322,7 +327,7 @@ std::vector<std::vector<PartFired>> replay_partitioned(std::uint64_t seed,
     // Local follow-up, possibly at the same timestamp (tie-break path).
     if (r % 3 != 0) {
       const int child = label * 7 + 1;
-      engine.schedule_in(static_cast<des::SimTime>(r % 4),
+      engine.schedule_in(des::Duration{static_cast<std::int64_t>(r % 4)},
                          [&body, part, child, depth] {
                            body(part, child, depth + 1);
                          },
@@ -333,8 +338,9 @@ std::vector<std::vector<PartFired>> replay_partitioned(std::uint64_t seed,
       const int to = static_cast<int>((r >> 8) % partitions);
       if (to != part) {
         const int child = label * 7 + 2;
-        sim.post(part, to,
-                 engine.now() + kLookahead + static_cast<des::SimTime>(r % 5),
+        sim.post(des::PartitionId{part}, des::PartitionId{to},
+                 engine.now() + kLookahead +
+                     des::Duration{static_cast<std::int64_t>(r % 5)},
                  [&body, to, child, depth] { body(to, child, depth + 1); });
       }
     }
@@ -343,9 +349,8 @@ std::vector<std::vector<PartFired>> replay_partitioned(std::uint64_t seed,
   for (int part = 0; part < partitions; ++part) {
     for (int i = 0; i < 4; ++i) {
       const int label = 100 + i;
-      const des::SimTime at =
-          static_cast<des::SimTime>(mix(part, i) % 6);
-      sim.engine(part).schedule_at(at, [&body, part, label] {
+      const des::SimTime at{static_cast<std::int64_t>(mix(part, i) % 6)};
+      sim.engine(des::PartitionId{part}).schedule_at(at, [&body, part, label] {
         body(part, label, 0);
       });
     }
@@ -385,22 +390,27 @@ TEST(PartitionedGolden, RecordedCrossPostScript) {
     des::PartitionSet sim{2, kLookahead};
     std::vector<PartFired> log;
     const auto record = [&log, &sim](int part, int label) {
-      log.push_back(PartFired{part, label, sim.engine(part).now()});
+      log.push_back(
+          PartFired{part, label, sim.engine(des::PartitionId{part}).now()});
     };
     // Local event in partition 1 at t=10 (scheduled at t=0)...
-    sim.engine(1).schedule_at(10, [&] { record(1, 1); });
+    sim.engine(des::PartitionId{1}).schedule_at(des::SimTime{10},
+                                                [&] { record(1, 1); });
     // ...and an injected event also at t=10, posted from partition 0 at
     // t=0: the injected event carries schedule time 0 and ties with the
     // local one, resolved by the (time, priority, sched, seq) key.
-    sim.engine(0).schedule_at(0, [&] {
+    sim.engine(des::PartitionId{0}).schedule_at(des::SimTime{0}, [&] {
       record(0, 2);
-      sim.post(0, 1, 10, [&] { record(1, 3); });
+      sim.post(des::PartitionId{0}, des::PartitionId{1}, des::SimTime{10},
+               [&] { record(1, 3); });
       // Ping-pong chain: 0 -> 1 -> 0, each hop exactly one lookahead out.
-      sim.post(0, 1, kLookahead, [&] {
-        record(1, 4);
-        sim.post(1, 0, sim.engine(1).now() + kLookahead,
-                 [&] { record(0, 5); });
-      });
+      sim.post(des::PartitionId{0}, des::PartitionId{1},
+               des::SimTime{} + kLookahead, [&] {
+                 record(1, 4);
+                 sim.post(des::PartitionId{1}, des::PartitionId{0},
+                          sim.engine(des::PartitionId{1}).now() + kLookahead,
+                          [&] { record(0, 5); });
+               });
     });
     sim.run(threads);
     return log;
@@ -425,18 +435,24 @@ TEST(PartitionedGolden, SinglePartitionMatchesPlainEngine) {
   // from RecordedScheduleCancelScript through a one-partition set and the
   // reference engine and require identical streams.
   struct SetAdapter {
-    des::PartitionSet sim{1, 1};
+    des::PartitionSet sim{1, des::Duration{1}};
     using EventId = des::Engine::EventId;
-    [[nodiscard]] des::SimTime now() { return sim.engine(0).now(); }
+    [[nodiscard]] des::SimTime now() {
+      return sim.engine(des::PartitionId{0}).now();
+    }
     EventId schedule_at(des::SimTime t, std::function<void()> fn,
                         int priority = 0) {
-      return sim.engine(0).schedule_at(t, std::move(fn), priority);
+      return sim.engine(des::PartitionId{0})
+          .schedule_at(t, std::move(fn), priority);
     }
-    EventId schedule_in(des::SimTime dt, std::function<void()> fn,
+    EventId schedule_in(des::Duration dt, std::function<void()> fn,
                         int priority = 0) {
-      return sim.engine(0).schedule_in(dt, std::move(fn), priority);
+      return sim.engine(des::PartitionId{0})
+          .schedule_in(dt, std::move(fn), priority);
     }
-    bool cancel(EventId id) { return sim.engine(0).cancel(id); }
+    bool cancel(EventId id) {
+      return sim.engine(des::PartitionId{0}).cancel(id);
+    }
     void run() { sim.run(4); }  // extra threads must be inert at K = 1
   };
   Script script;
@@ -465,9 +481,12 @@ TEST(PartitionedGolden, PostBelowLookaheadIsRejected) {
   des::PartitionSet sim{2, kLookahead};
   // A cross-partition post inside the lookahead window would break the
   // conservative execution guarantee; it must be refused loudly.
-  EXPECT_THROW(sim.post(0, 1, kLookahead - 1, [] {}), std::logic_error);
+  EXPECT_THROW(sim.post(des::PartitionId{0}, des::PartitionId{1},
+                        des::SimTime{} + kLookahead - des::Duration{1}, [] {}),
+               std::logic_error);
   // At exactly now + lookahead it is legal.
-  sim.post(0, 1, kLookahead, [] {});
+  sim.post(des::PartitionId{0}, des::PartitionId{1},
+           des::SimTime{} + kLookahead, [] {});
   sim.run(2);
   EXPECT_EQ(sim.processed(), 1u);
 }
@@ -475,13 +494,14 @@ TEST(PartitionedGolden, PostBelowLookaheadIsRejected) {
 TEST(EngineGolden, RunUntilHonoursCancellationAndResumes) {
   des::Engine engine;
   std::vector<int> fired;
-  engine.schedule_at(10, [&] { fired.push_back(10); });
-  const auto mid = engine.schedule_at(20, [&] { fired.push_back(20); });
-  engine.schedule_at(30, [&] { fired.push_back(30); });
+  engine.schedule_at(des::SimTime{10}, [&] { fired.push_back(10); });
+  const auto mid =
+      engine.schedule_at(des::SimTime{20}, [&] { fired.push_back(20); });
+  engine.schedule_at(des::SimTime{30}, [&] { fired.push_back(30); });
   engine.cancel(mid);
-  engine.run_until(25);
+  engine.run_until(des::SimTime{25});
   EXPECT_EQ(fired, (std::vector<int>{10}));
-  EXPECT_EQ(engine.now(), 25);
+  EXPECT_EQ(engine.now(), des::SimTime{25});
   engine.run();
   EXPECT_EQ(fired, (std::vector<int>{10, 30}));
 }

@@ -43,7 +43,7 @@ TEST(FaultModel, CertainLossDropsEveryPacket) {
   net::FaultParams fault;
   fault.loss_rate = 1.0;
   net::FaultModel model{fault, 42};
-  for (int i = 0; i < 10; ++i) EXPECT_TRUE(model.should_drop(0));
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(model.should_drop(des::SimTime{0}));
   EXPECT_EQ(model.inspected(), 10u);
   EXPECT_EQ(model.injected(), 10u);
 }
@@ -52,19 +52,19 @@ TEST(FaultModel, DeterministicScheduleDropsExactlyThoseOrdinals) {
   net::FaultModel model{drop_schedule({2, 5}), 42};
   std::vector<std::uint64_t> dropped;
   for (std::uint64_t i = 1; i <= 10; ++i) {
-    if (model.should_drop(0)) dropped.push_back(i);
+    if (model.should_drop(des::SimTime{0})) dropped.push_back(i);
   }
   EXPECT_EQ(dropped, (std::vector<std::uint64_t>{2, 5}));
 }
 
 TEST(FaultModel, DownWindowKillsOnlyInsideTheWindow) {
   net::FaultParams fault;
-  fault.down.push_back(net::DownWindow{100, 200});
+  fault.down.push_back(net::DownWindow{des::SimTime{100}, des::SimTime{200}});
   net::FaultModel model{fault, 42};
-  EXPECT_FALSE(model.should_drop(99));
-  EXPECT_TRUE(model.should_drop(100));
-  EXPECT_TRUE(model.should_drop(199));
-  EXPECT_FALSE(model.should_drop(200));
+  EXPECT_FALSE(model.should_drop(des::SimTime{99}));
+  EXPECT_TRUE(model.should_drop(des::SimTime{100}));
+  EXPECT_TRUE(model.should_drop(des::SimTime{199}));
+  EXPECT_FALSE(model.should_drop(des::SimTime{200}));
 }
 
 TEST(FaultModel, GilbertElliottProducesBursts) {
@@ -77,7 +77,7 @@ TEST(FaultModel, GilbertElliottProducesBursts) {
   int run = 0;
   const int packets = 5000;
   for (int i = 0; i < packets; ++i) {
-    if (model.should_drop(0)) {
+    if (model.should_drop(des::SimTime{0})) {
       ++run;
       longest_run = std::max(longest_run, run);
     } else {
@@ -97,7 +97,7 @@ TEST(FaultModel, SameSeedSameDecisions) {
   net::FaultModel a{fault, 99};
   net::FaultModel b{fault, 99};
   for (int i = 0; i < 1000; ++i) {
-    EXPECT_EQ(a.should_drop(0), b.should_drop(0));
+    EXPECT_EQ(a.should_drop(des::SimTime{0}), b.should_drop(des::SimTime{0}));
   }
 }
 
@@ -107,14 +107,15 @@ TEST(TransportFault, SingleDropRecoversAfterOneRto) {
   Fixture f{net::perseus(2)};
   f.network.nic_tx(0).install_fault_model(
       std::make_unique<net::FaultModel>(drop_schedule({1}), 1));
-  des::SimTime delivered_at = -1;
-  f.transport.send(1, 0, 1, 1000, [&] { delivered_at = f.engine.now(); });
+  des::SimTime delivered_at{-1};
+  f.transport.send(1, 0, 1, net::Bytes{1000},
+                   [&] { delivered_at = f.engine.now(); });
   f.engine.run();
   // The only copy of the single segment dies on the sender NIC; recovery
   // waits for the full 200 ms RTO, then one retransmission delivers.
-  ASSERT_GE(delivered_at, 0);
-  EXPECT_GT(delivered_at, des::from_micros(200e3));
-  EXPECT_LT(delivered_at, des::from_micros(210e3));
+  ASSERT_GE(delivered_at, des::SimTime{});
+  EXPECT_GT(delivered_at, des::SimTime::from_micros(200e3));
+  EXPECT_LT(delivered_at, des::SimTime::from_micros(210e3));
   EXPECT_EQ(f.transport.timeouts(), 1u);
   EXPECT_EQ(f.transport.retransmits(), 1u);
   EXPECT_EQ(f.network.total_faults(), 1u);
@@ -125,14 +126,15 @@ TEST(TransportFault, RtoBacksOffExponentially) {
   Fixture f{net::perseus(2)};
   f.network.nic_tx(0).install_fault_model(
       std::make_unique<net::FaultModel>(drop_schedule({1, 2, 3}), 1));
-  des::SimTime delivered_at = -1;
-  f.transport.send(1, 0, 1, 1000, [&] { delivered_at = f.engine.now(); });
+  des::SimTime delivered_at{-1};
+  f.transport.send(1, 0, 1, net::Bytes{1000},
+                   [&] { delivered_at = f.engine.now(); });
   f.engine.run();
   // Three consecutive losses of the same segment: waits of 200, 400 and
   // 800 ms (doubling each timeout) before the fourth copy gets through.
-  ASSERT_GE(delivered_at, 0);
-  EXPECT_GT(delivered_at, des::from_micros(1400e3));
-  EXPECT_LT(delivered_at, des::from_micros(1450e3));
+  ASSERT_GE(delivered_at, des::SimTime{});
+  EXPECT_GT(delivered_at, des::SimTime::from_micros(1400e3));
+  EXPECT_LT(delivered_at, des::SimTime::from_micros(1450e3));
   EXPECT_EQ(f.transport.timeouts(), 3u);
   EXPECT_EQ(f.transport.retransmits(), 3u);
 }
@@ -143,7 +145,7 @@ TEST(TransportFault, LostAckIsCoveredByRetransmission) {
   f.network.nic_tx(1).install_fault_model(
       std::make_unique<net::FaultModel>(drop_schedule({1}), 1));
   bool done = false;
-  f.transport.send(1, 0, 1, 1000, [&] { done = true; });
+  f.transport.send(1, 0, 1, net::Bytes{1000}, [&] { done = true; });
   f.engine.run();
   EXPECT_TRUE(done);
   // The data arrived first try; only the sender-side completion stalled
@@ -160,7 +162,7 @@ TEST(TransportFault, BurstLossStillDeliversEverything) {
   Fixture f{params};
   int delivered = 0;
   for (int i = 0; i < 20; ++i) {
-    f.transport.send(1, 0, 1, 8000, [&] { ++delivered; });
+    f.transport.send(1, 0, 1, net::Bytes{8000}, [&] { ++delivered; });
   }
   f.engine.run();
   EXPECT_EQ(delivered, 20);
@@ -195,7 +197,8 @@ TEST(TransportFault, DeliveredBytesIdenticalWithAndWithoutLoss) {
     params.fault.seed = 3;
     Fixture f{params};
     std::map<std::uint64_t, std::vector<net::Bytes>> per_stream;
-    const net::Bytes sizes[] = {200, 9000, 1_KiB, 40_KiB, 1500};
+    const net::Bytes sizes[] = {net::Bytes{200}, net::Bytes{9000}, 1_KiB,
+                                40_KiB, net::Bytes{1500}};
     for (int m = 0; m < 12; ++m) {
       const std::uint64_t stream = 1 + (m % 3);
       const int src = static_cast<int>(stream) - 1;
@@ -221,7 +224,7 @@ TEST(TransportFault, RetransmissionsAreTraced) {
   trace::Tracer tracer;
   tracer.enable();
   f.transport.set_tracer(&tracer);
-  f.transport.send(1, 0, 1, 1000, nullptr);
+  f.transport.send(1, 0, 1, net::Bytes{1000}, nullptr);
   f.engine.run();
   EXPECT_EQ(tracer.count(trace::Category::kTransport), 2u);
   bool saw_backoff = false;
@@ -254,8 +257,8 @@ fault_down_end_ms = 20
   EXPECT_DOUBLE_EQ(params.fault.ge_loss_bad, 0.9);
   EXPECT_EQ(params.fault.seed, 77u);
   ASSERT_EQ(params.fault.down.size(), 1u);
-  EXPECT_EQ(params.fault.down[0].start, des::from_micros(10e3));
-  EXPECT_EQ(params.fault.down[0].end, des::from_micros(20e3));
+  EXPECT_EQ(params.fault.down[0].start, des::SimTime::from_micros(10e3));
+  EXPECT_EQ(params.fault.down[0].end, des::SimTime::from_micros(20e3));
   EXPECT_NE(net::describe(params).find("fault:"), std::string::npos);
 }
 
@@ -284,7 +287,7 @@ TEST(FaultBench, IsendUnderLossDevelopsRtoTail) {
   opt.repetitions = 120;
   opt.warmup = 8;
   opt.seed = 9;
-  const auto result = mpibench::run_isend(opt, 1024);
+  const auto result = mpibench::run_isend(opt, net::Bytes{1024});
   EXPECT_EQ(result.messages, 240u);
   EXPECT_GT(result.faults_injected, 0u);
   EXPECT_GT(result.tcp_retransmits, 0u);

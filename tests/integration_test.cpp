@@ -21,7 +21,7 @@ mpibench::DistributionTable halo_table(int max_nodes, int reps = 120) {
   opt.repetitions = reps;
   opt.warmup = 12;
   opt.seed = 5150;
-  std::vector<net::Bytes> sizes{1024};
+  std::vector<net::Bytes> sizes{net::Bytes{1024}};
   std::vector<mpibench::Config> configs;
   for (int n = 2; n <= max_nodes; n *= 2) configs.push_back({n, 1});
   return mpibench::measure_isend_table(opt, sizes, configs);

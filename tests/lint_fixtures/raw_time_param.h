@@ -1,0 +1,21 @@
+// Fixture: raw double/int64_t time-named declarations in a header. The
+// rule must flag parameters and members alike, and must stay quiet on
+// accessor functions (followed by '('), non-time names, comments and
+// strings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+struct FixtureTimed {
+  double timeout_seconds = 0.5;        // flagged: member, time word
+  std::int64_t deadline_ns = 0;        // flagged: member, _ns suffix
+  double weight = 1.0;                 // fine: not time-named
+  std::int64_t packet_count = 0;       // fine: not time-named
+
+  // Mentioning double latency_s in a comment must not count.
+  void wait_for(double budget_ms, int retries);  // flagged: parameter
+  [[nodiscard]] double seconds() const;  // fine: function name, not a value
+  [[nodiscard]] std::int64_t ns() const;  // fine: accessor
+  std::string label = "double duration_us";  // fine: string literal
+};

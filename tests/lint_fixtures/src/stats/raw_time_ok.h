@@ -1,0 +1,12 @@
+// Fixture: the raw-time-param whitelist. This file lives under a
+// `src/stats/` path component, the statistics domain where
+// seconds-valued doubles are by design — the very declarations flagged
+// in raw_time_param.h must stay quiet here.
+#pragma once
+
+#include <cstdint>
+
+struct FixtureStatsTimed {
+  double timeout_seconds = 0.5;   // exempt: whitelisted boundary
+  std::int64_t deadline_ns = 0;   // exempt: whitelisted boundary
+};

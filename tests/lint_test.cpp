@@ -145,6 +145,33 @@ TEST(ReproLint, UnannotatedMutexNeedsCodePartnerNotComment) {
   EXPECT_EQ(doc.find("findings")->as_array().size(), 2u) << result.output;
 }
 
+TEST(ReproLint, RawTimeParamFlagsMembersAndParametersNotAccessors) {
+  const RunResult result =
+      run_lint("--json " + fixture("raw_time_param.h"));
+  EXPECT_EQ(result.exit_code, 3);
+  const Json doc = Json::parse(result.output);
+  EXPECT_EQ(count_findings(doc, "raw-time-param", "raw_time_param.h", 11), 1)
+      << "double member with = initialiser";
+  EXPECT_EQ(count_findings(doc, "raw-time-param", "raw_time_param.h", 12), 1)
+      << "std::int64_t member, _ns suffix";
+  EXPECT_EQ(count_findings(doc, "raw-time-param", "raw_time_param.h", 17), 1)
+      << "double parameter, _ms suffix";
+  // Accessors named seconds()/ns(), non-time names, the comment and the
+  // string literal all stay quiet: exactly the three findings above.
+  EXPECT_EQ(doc.find("findings")->as_array().size(), 3u) << result.output;
+}
+
+TEST(ReproLint, RawTimeParamWhitelistedBoundaryStaysQuiet) {
+  // Same declarations as the flagged fixture, but under a src/stats/
+  // path component — the statistics domain is a whitelisted conversion
+  // boundary, so the rule must not fire.
+  const RunResult result = run_lint(fixture("src/stats/raw_time_ok.h"));
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("repro_lint: clean (1 files)"),
+            std::string::npos)
+      << result.output;
+}
+
 TEST(ReproLint, UsingNamespaceInHeader) {
   const RunResult result =
       run_lint("--json " + fixture("using_namespace.h"));

@@ -184,7 +184,7 @@ TEST(Collectives, BcastBytesScalesWithTreeDepth) {
   // Binomial tree: completion grows ~log2(P), not linearly.
   auto timed = [](int p) {
     smpi::Runtime rt{options(p)};
-    rt.run([&](smpi::Comm& comm) { comm.bcast_bytes(1024, 0); });
+    rt.run([&](smpi::Comm& comm) { comm.bcast_bytes(net::Bytes{1024}, 0); });
     return des::to_seconds(rt.elapsed());
   };
   const double t4 = timed(4);

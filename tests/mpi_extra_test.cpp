@@ -32,7 +32,7 @@ TEST(MpiExtra, BlockingProbeWaitsForArrival) {
       const des::SimTime before = comm.sim_now();
       const smpi::Status st = comm.probe(0, 4);
       EXPECT_GT(comm.sim_now() - before, des::from_micros(10000));
-      EXPECT_EQ(st.bytes, sizeof(int));
+      EXPECT_EQ(st.bytes, net::Bytes::of(sizeof(int)));
       EXPECT_EQ(comm.recv_value<int>(0, 4), 7);
     }
   });
@@ -46,12 +46,12 @@ TEST(MpiExtra, SmpChannelPreservesOrderUnderJitter) {
   rt.run([&](smpi::Comm& comm) {
     if (comm.rank() == 0) {
       for (int i = 0; i < 50; ++i) {
-        comm.wait(comm.isend_bytes(64, 1, i));  // eager: returns at once
+        comm.wait(comm.isend_bytes(net::Bytes{64}, 1, i));  // eager: returns at once
       }
     } else {
       for (int i = 0; i < 50; ++i) {
         // Receive in arrival order via wildcard tags.
-        const smpi::Status st = comm.recv_bytes(64, 0, smpi::kAnyTag);
+        const smpi::Status st = comm.recv_bytes(net::Bytes{64}, 0, smpi::kAnyTag);
         order.push_back(st.tag);
       }
     }
@@ -91,9 +91,9 @@ TEST(MpiExtra, BuilderCollectivesExecuteInVm) {
   const pevpm::Model model = b.build("coll");
 
   mpibench::DistributionTable table;
-  table.insert(mpibench::OpKind::kPtpOneWay, 0, 1,
+  table.insert(mpibench::OpKind::kPtpOneWay, net::Bytes{0}, 1,
                stats::EmpiricalDistribution::constant(1e-3));
-  table.insert(mpibench::OpKind::kPtpOneWay, 1 << 20, 1,
+  table.insert(mpibench::OpKind::kPtpOneWay, net::Bytes{1<<20}, 1,
                stats::EmpiricalDistribution::constant(1e-3));
   pevpm::DeliverySampler sampler{table, {}, 3};
   const auto result = pevpm::simulate(model, 4, {}, sampler);
@@ -106,15 +106,15 @@ TEST(MpiExtra, RecvCompletionCarriesStatusThroughWaitall) {
   smpi::Runtime rt{options(2, 1, 2)};
   rt.run([](smpi::Comm& comm) {
     if (comm.rank() == 0) {
-      comm.send_bytes(10, 1, 3);
-      comm.send_bytes(20, 1, 5);
+      comm.send_bytes(net::Bytes{10}, 1, 3);
+      comm.send_bytes(net::Bytes{20}, 1, 5);
     } else {
-      const smpi::Request a = comm.irecv_bytes(64, 0, 3);
-      const smpi::Request b = comm.irecv_bytes(64, 0, 5);
+      const smpi::Request a = comm.irecv_bytes(net::Bytes{64}, 0, 3);
+      const smpi::Request b = comm.irecv_bytes(net::Bytes{64}, 0, 5);
       const std::vector<smpi::Request> reqs{a, b};
       comm.waitall(reqs);
-      EXPECT_EQ(a.state()->status.bytes, 10u);
-      EXPECT_EQ(b.state()->status.bytes, 20u);
+      EXPECT_EQ(a.state()->status.bytes, net::Bytes{10});
+      EXPECT_EQ(b.state()->status.bytes, net::Bytes{20});
     }
   });
 }

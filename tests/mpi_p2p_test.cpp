@@ -51,7 +51,7 @@ TEST_P(PayloadIntegrity, RoundTripsExactBytes) {
       comm.send(sent, 1, 3);
     } else {
       const smpi::Status st = comm.recv(got, 0, 3);
-      EXPECT_EQ(st.bytes, c.size);
+      EXPECT_EQ(st.bytes, net::Bytes{c.size});
       EXPECT_EQ(st.source, 0);
       EXPECT_EQ(st.tag, 3);
     }
@@ -192,7 +192,7 @@ TEST(P2P, ProbeReportsEnvelopeWithoutConsuming) {
       const smpi::Status st = comm.probe(smpi::kAnySource, smpi::kAnyTag);
       EXPECT_EQ(st.source, 0);
       EXPECT_EQ(st.tag, 9);
-      EXPECT_EQ(st.bytes, sizeof(double));
+      EXPECT_EQ(st.bytes, net::Bytes::of(sizeof(double)));
       EXPECT_DOUBLE_EQ(comm.recv_value<double>(0, 9), 3.5);
     }
   });
@@ -213,8 +213,8 @@ TEST(P2P, SendrecvExchangesWithoutDeadlock) {
     const int peer = 1 - comm.rank();
     // Large (rendezvous) messages both ways would deadlock with blocking
     // send/recv in the same order on both ranks; sendrecv must not.
-    std::vector<std::byte> out(32_KiB, std::byte(comm.rank()));
-    std::vector<std::byte> in(32_KiB);
+    std::vector<std::byte> out((32_KiB).count(), std::byte(comm.rank()));
+    std::vector<std::byte> in((32_KiB).count());
     comm.sendrecv(out, peer, 2, in, peer, 2);
     EXPECT_EQ(in[0], std::byte(peer));
   });
@@ -223,8 +223,8 @@ TEST(P2P, SendrecvExchangesWithoutDeadlock) {
 TEST(P2P, SendToSelfViaSmpChannel) {
   smpi::Runtime rt{options(1, 1, 1)};
   rt.run([&](smpi::Comm& comm) {
-    const smpi::Request rq = comm.isend_bytes(128, 0, 0);
-    EXPECT_EQ(comm.recv_bytes(128, 0, 0).bytes, 128u);
+    const smpi::Request rq = comm.isend_bytes(net::Bytes{128}, 0, 0);
+    EXPECT_EQ(comm.recv_bytes(net::Bytes{128}, 0, 0).bytes, net::Bytes{128});
     comm.wait(rq);
   });
 }
@@ -234,12 +234,12 @@ TEST(P2P, RendezvousBlocksUntilReceiverPosts) {
   double send_done = 0.0;
   rt.run([&](smpi::Comm& comm) {
     if (comm.rank() == 0) {
-      std::vector<std::byte> big(64_KiB);
+      std::vector<std::byte> big((64_KiB).count());
       comm.send(big, 1, 0);
       send_done = des::to_seconds(comm.sim_now());
     } else {
       comm.compute(0.05);  // make the sender wait for the CTS
-      std::vector<std::byte> big(64_KiB);
+      std::vector<std::byte> big((64_KiB).count());
       comm.recv(big, 0, 0);
     }
   });
@@ -252,11 +252,11 @@ TEST(P2P, EagerSendCompletesLocallyBeforeReceiverPosts) {
   double send_done = 1e9;
   rt.run([&](smpi::Comm& comm) {
     if (comm.rank() == 0) {
-      comm.send_bytes(1024, 1, 0);  // eager: buffered, local completion
+      comm.send_bytes(net::Bytes{1024}, 1, 0);  // eager: buffered, local completion
       send_done = des::to_seconds(comm.sim_now());
     } else {
       comm.compute(0.05);
-      comm.recv_bytes(1024, 0, 0);
+      comm.recv_bytes(net::Bytes{1024}, 0, 0);
     }
   });
   EXPECT_LT(send_done, 0.05);
@@ -265,7 +265,7 @@ TEST(P2P, EagerSendCompletesLocallyBeforeReceiverPosts) {
 TEST(P2P, InvalidArgumentsThrow) {
   smpi::Runtime rt{options(2, 1, 2)};
   EXPECT_THROW(rt.run([&](smpi::Comm& comm) {
-                 comm.send_bytes(10, comm.size(), 0);  // peer out of range
+                 comm.send_bytes(net::Bytes{10}, comm.size(), 0);  // peer out of range
                }),
                smpi::MpiError);
 }
@@ -273,7 +273,8 @@ TEST(P2P, InvalidArgumentsThrow) {
 TEST(P2P, UserTagRangeIsEnforced) {
   smpi::Runtime rt{options(2, 1, 2)};
   EXPECT_THROW(rt.run([&](smpi::Comm& comm) {
-                 comm.send_bytes(10, 1 - comm.rank(), smpi::kReservedTagBase);
+                 comm.send_bytes(net::Bytes{10}, 1 - comm.rank(),
+                                 smpi::kReservedTagBase);
                }),
                smpi::MpiError);
 }

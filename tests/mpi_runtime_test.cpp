@@ -52,7 +52,7 @@ TEST(Runtime, DeadlockNamesBlockedRanks) {
   smpi::Runtime rt{options(3, 1, 3)};
   try {
     rt.run([](smpi::Comm& comm) {
-      if (comm.rank() != 0) comm.recv_bytes(8, 0, 0);  // rank 0 never sends
+      if (comm.rank() != 0) comm.recv_bytes(net::Bytes{8}, 0, 0);  // rank 0 never sends
     });
     FAIL() << "expected DeadlockError";
   } catch (const smpi::DeadlockError& e) {
@@ -72,7 +72,7 @@ TEST(Runtime, DeterministicAcrossIdenticalRuns) {
     rt.run([](smpi::Comm& comm) {
       comm.barrier();
       for (int i = 0; i < 5; ++i) {
-        comm.alltoall_bytes(512);
+        comm.alltoall_bytes(net::Bytes{512});
       }
     });
     return rt.elapsed();
@@ -87,9 +87,9 @@ TEST(Runtime, SeedChangesJitterRealisation) {
     smpi::Runtime rt{opt};
     rt.run([](smpi::Comm& comm) {
       if (comm.rank() == 0) {
-        comm.send_bytes(1024, 1, 0);
+        comm.send_bytes(net::Bytes{1024}, 1, 0);
       } else {
-        comm.recv_bytes(1024, 0, 0);
+        comm.recv_bytes(net::Bytes{1024}, 0, 0);
       }
     });
     return rt.elapsed();
@@ -107,13 +107,13 @@ TEST(Runtime, TransportAndNetworkAccessorsCarryStats) {
   smpi::Runtime rt{options(2, 1, 2)};
   rt.run([](smpi::Comm& comm) {
     if (comm.rank() == 0) {
-      comm.send_bytes(100000, 1, 0);
+      comm.send_bytes(net::Bytes{100000}, 1, 0);
     } else {
-      comm.recv_bytes(100000, 0, 0);
+      comm.recv_bytes(net::Bytes{100000}, 0, 0);
     }
   });
   EXPECT_GT(rt.transport().segments_sent(), 60u);
-  EXPECT_GT(rt.network().nic_tx(0).bytes_sent(), 100000u);
+  EXPECT_GT(rt.network().nic_tx(0).bytes_sent(), net::Bytes{100000});
 }
 
 }  // namespace

@@ -24,7 +24,7 @@ mpibench::Options small_options() {
 
 TEST(MpibenchJobs, SweepIsBitIdenticalAcrossJobCounts) {
   const mpibench::Options opt = small_options();
-  const std::vector<net::Bytes> sizes{256, 2048, 8192};
+  const std::vector<net::Bytes> sizes{net::Bytes{256}, net::Bytes{2048}, net::Bytes{8192}};
   const auto serial = mpibench::run_isend_sweep(opt, sizes, 1);
   const auto fanned = mpibench::run_isend_sweep(opt, sizes, 4);
   ASSERT_EQ(serial.size(), fanned.size());
@@ -32,7 +32,7 @@ TEST(MpibenchJobs, SweepIsBitIdenticalAcrossJobCounts) {
     EXPECT_EQ(serial[i].size, fanned[i].size);
     EXPECT_EQ(serial[i].messages, fanned[i].messages);
     EXPECT_EQ(serial[i].oneway.to_csv(), fanned[i].oneway.to_csv())
-        << "histogram diverged for size " << sizes[i];
+        << "histogram diverged for size " << sizes[i].count();
     EXPECT_EQ(serial[i].sender_hist.to_csv(), fanned[i].sender_hist.to_csv());
     EXPECT_EQ(serial[i].tcp_retransmits, fanned[i].tcp_retransmits);
     EXPECT_EQ(serial[i].link_drops, fanned[i].link_drops);
@@ -41,7 +41,7 @@ TEST(MpibenchJobs, SweepIsBitIdenticalAcrossJobCounts) {
 
 TEST(MpibenchJobs, SweepMatchesDirectRunIsend) {
   const mpibench::Options opt = small_options();
-  const std::vector<net::Bytes> sizes{512, 4096};
+  const std::vector<net::Bytes> sizes{net::Bytes{512}, net::Bytes{4096}};
   const auto swept = mpibench::run_isend_sweep(opt, sizes, 3);
   ASSERT_EQ(swept.size(), sizes.size());
   for (std::size_t i = 0; i < sizes.size(); ++i) {
@@ -53,7 +53,7 @@ TEST(MpibenchJobs, SweepMatchesDirectRunIsend) {
 
 TEST(MpibenchJobs, TableIsBitIdenticalAcrossJobCounts) {
   mpibench::Options opt = small_options();
-  const std::vector<net::Bytes> sizes{256, 4096};
+  const std::vector<net::Bytes> sizes{net::Bytes{256}, net::Bytes{4096}};
   const std::vector<mpibench::Config> configs{{2, 1}, {2, 2}, {4, 1}};
   const auto table1 = mpibench::measure_isend_table(opt, sizes, configs, 1);
   const auto table4 = mpibench::measure_isend_table(opt, sizes, configs, 4);
@@ -69,7 +69,7 @@ TEST(MpibenchJobs, FaultInjectionStaysDeterministicUnderJobs) {
   mpibench::Options opt = small_options();
   opt.cluster.fault.loss_rate = 0.02;
   opt.cluster.fault.seed = opt.seed;
-  const std::vector<net::Bytes> sizes{1024, 8192};
+  const std::vector<net::Bytes> sizes{net::Bytes{1024}, net::Bytes{8192}};
   const auto serial = mpibench::run_isend_sweep(opt, sizes, 1);
   const auto fanned = mpibench::run_isend_sweep(opt, sizes, 2);
   ASSERT_EQ(serial.size(), fanned.size());
@@ -88,7 +88,7 @@ TEST(MpibenchJobs, CancellationSkipsUnstartedCellsAndKeepsTheRest) {
   mpibench::Options opt = small_options();
   std::atomic<bool> cancel{false};
   opt.cancel = &cancel;
-  const std::vector<net::Bytes> sizes{256, 2048};
+  const std::vector<net::Bytes> sizes{net::Bytes{256}, net::Bytes{2048}};
   const std::vector<mpibench::Config> configs{{2, 1}};
 
   const auto before = mpibench::measure_isend_table(opt, sizes, configs, 1);

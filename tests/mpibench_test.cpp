@@ -85,7 +85,7 @@ TEST(ClockSync, DriftEstimationImprovesLongRuns) {
 }
 
 TEST(MpiBench, IsendResultHasSaneShape) {
-  const auto result = mpibench::run_isend(bench_options(2, 1), 1024);
+  const auto result = mpibench::run_isend(bench_options(2, 1), net::Bytes{1024});
   EXPECT_EQ(result.messages, 120u);  // 60 reps x 2 directions
   const auto& s = result.oneway.summary();
   EXPECT_GT(s.min(), 0.0);
@@ -99,8 +99,8 @@ TEST(MpiBench, IsendResultHasSaneShape) {
 }
 
 TEST(MpiBench, ContentionRaisesAverageNotMinimum) {
-  const auto quiet = mpibench::run_isend(bench_options(2, 1), 1024);
-  const auto busy = mpibench::run_isend(bench_options(32, 2), 1024);
+  const auto quiet = mpibench::run_isend(bench_options(2, 1), net::Bytes{1024});
+  const auto busy = mpibench::run_isend(bench_options(32, 2), net::Bytes{1024});
   // Average rises with contention; the minimum stays near the quiet floor
   // (the paper's central observation about min vs avg).
   EXPECT_GT(busy.oneway.summary().mean(), quiet.oneway.summary().mean());
@@ -109,7 +109,7 @@ TEST(MpiBench, ContentionRaisesAverageNotMinimum) {
 }
 
 TEST(MpiBench, OddProcessCountRejected) {
-  EXPECT_THROW((void)mpibench::run_isend(bench_options(3, 1), 64),
+  EXPECT_THROW((void)mpibench::run_isend(bench_options(3, 1), net::Bytes{64}),
                std::invalid_argument);
 }
 
@@ -118,61 +118,61 @@ TEST(MpiBench, CollectivePatternsProduceTimings) {
   EXPECT_EQ(barrier.operations, 240u);  // 60 reps x 4 procs
   EXPECT_GT(barrier.completion.summary().mean(), 0.0);
 
-  const auto bcast = mpibench::run_bcast(bench_options(4, 1), 4096);
+  const auto bcast = mpibench::run_bcast(bench_options(4, 1), net::Bytes{4096});
   EXPECT_GT(bcast.completion.summary().mean(),
             0.0);
-  const auto alltoall = mpibench::run_alltoall(bench_options(4, 1), 1024);
+  const auto alltoall = mpibench::run_alltoall(bench_options(4, 1), net::Bytes{1024});
   EXPECT_GT(alltoall.completion.summary().mean(),
             bcast.completion.summary().min());
 }
 
 TEST(Table, InsertLookupExact) {
   DistributionTable table;
-  table.insert(OpKind::kPtpOneWay, 1024, 8,
+  table.insert(OpKind::kPtpOneWay, net::Bytes{1024}, 8,
                stats::EmpiricalDistribution::constant(3e-3));
-  ASSERT_NE(table.exact(OpKind::kPtpOneWay, 1024, 8), nullptr);
-  EXPECT_EQ(table.exact(OpKind::kPtpOneWay, 1024, 4), nullptr);
-  EXPECT_EQ(table.exact(OpKind::kBarrier, 1024, 8), nullptr);
-  EXPECT_DOUBLE_EQ(table.lookup(OpKind::kPtpOneWay, 1024, 8).mean(), 3e-3);
+  ASSERT_NE(table.exact(OpKind::kPtpOneWay, net::Bytes{1024}, 8), nullptr);
+  EXPECT_EQ(table.exact(OpKind::kPtpOneWay, net::Bytes{1024}, 4), nullptr);
+  EXPECT_EQ(table.exact(OpKind::kBarrier, net::Bytes{1024}, 8), nullptr);
+  EXPECT_DOUBLE_EQ(table.lookup(OpKind::kPtpOneWay, net::Bytes{1024}, 8).mean(), 3e-3);
 }
 
 TEST(Table, LookupInterpolatesAcrossSizeAndContention) {
   DistributionTable table;
-  table.insert(OpKind::kPtpOneWay, 1024, 1,
+  table.insert(OpKind::kPtpOneWay, net::Bytes{1024}, 1,
                stats::EmpiricalDistribution::constant(1e-3));
-  table.insert(OpKind::kPtpOneWay, 4096, 1,
+  table.insert(OpKind::kPtpOneWay, net::Bytes{4096}, 1,
                stats::EmpiricalDistribution::constant(3e-3));
-  table.insert(OpKind::kPtpOneWay, 1024, 16,
+  table.insert(OpKind::kPtpOneWay, net::Bytes{1024}, 16,
                stats::EmpiricalDistribution::constant(5e-3));
-  table.insert(OpKind::kPtpOneWay, 4096, 16,
+  table.insert(OpKind::kPtpOneWay, net::Bytes{4096}, 16,
                stats::EmpiricalDistribution::constant(7e-3));
   // Between sizes at level 1: mean strictly between the endpoints.
-  const double mid_size = table.lookup(OpKind::kPtpOneWay, 2048, 1).mean();
+  const double mid_size = table.lookup(OpKind::kPtpOneWay, net::Bytes{2048}, 1).mean();
   EXPECT_GT(mid_size, 1e-3);
   EXPECT_LT(mid_size, 3e-3);
   // Between contention levels at one size.
-  const double mid_cont = table.lookup(OpKind::kPtpOneWay, 1024, 4).mean();
+  const double mid_cont = table.lookup(OpKind::kPtpOneWay, net::Bytes{1024}, 4).mean();
   EXPECT_GT(mid_cont, 1e-3);
   EXPECT_LT(mid_cont, 5e-3);
   // Clamping outside the table edges.
-  EXPECT_DOUBLE_EQ(table.lookup(OpKind::kPtpOneWay, 100, 1).mean(), 1e-3);
-  EXPECT_DOUBLE_EQ(table.lookup(OpKind::kPtpOneWay, 1 << 20, 64).mean(), 7e-3);
+  EXPECT_DOUBLE_EQ(table.lookup(OpKind::kPtpOneWay, net::Bytes{100}, 1).mean(), 1e-3);
+  EXPECT_DOUBLE_EQ(table.lookup(OpKind::kPtpOneWay, net::Bytes{1<<20}, 64).mean(), 7e-3);
 }
 
 TEST(Table, LookupWithoutEntriesThrows) {
   DistributionTable table;
-  EXPECT_THROW((void)table.lookup(OpKind::kPtpOneWay, 10, 1),
+  EXPECT_THROW((void)table.lookup(OpKind::kPtpOneWay, net::Bytes{10}, 1),
                std::out_of_range);
 }
 
 TEST(Table, AxesEnumerateInsertions) {
   DistributionTable table;
-  table.insert(OpKind::kPtpOneWay, 64, 1,
+  table.insert(OpKind::kPtpOneWay, net::Bytes{64}, 1,
                stats::EmpiricalDistribution::constant(1.0));
-  table.insert(OpKind::kPtpOneWay, 1024, 4,
+  table.insert(OpKind::kPtpOneWay, net::Bytes{1024}, 4,
                stats::EmpiricalDistribution::constant(1.0));
   EXPECT_EQ(table.sizes(OpKind::kPtpOneWay),
-            (std::vector<net::Bytes>{64, 1024}));
+            (std::vector<net::Bytes>{net::Bytes{64}, net::Bytes{1024}}));
   EXPECT_EQ(table.contentions(OpKind::kPtpOneWay), (std::vector<int>{1, 4}));
   EXPECT_TRUE(table.sizes(OpKind::kBarrier).empty());
 }
@@ -183,8 +183,8 @@ TEST(Table, SaveLoadRoundTrips) {
   h.add(1e-3);
   h.add(2e-3);
   h.add(2e-3);
-  table.insert(OpKind::kPtpOneWay, 256, 2, stats::EmpiricalDistribution{h});
-  table.insert(OpKind::kPtpSender, 256, 2,
+  table.insert(OpKind::kPtpOneWay, net::Bytes{256}, 2, stats::EmpiricalDistribution{h});
+  table.insert(OpKind::kPtpSender, net::Bytes{256}, 2,
                stats::EmpiricalDistribution::constant(5e-5));
   std::stringstream ss;
   table.save(ss);
@@ -192,8 +192,8 @@ TEST(Table, SaveLoadRoundTrips) {
   EXPECT_EQ(loaded.size(), 2u);
   // Serialisation keeps bin resolution, not the exact sample extrema, so
   // agreement is to within half a bin width.
-  EXPECT_NEAR(loaded.lookup(OpKind::kPtpOneWay, 256, 2).mean(),
-              table.lookup(OpKind::kPtpOneWay, 256, 2).mean(), 1e-5);
+  EXPECT_NEAR(loaded.lookup(OpKind::kPtpOneWay, net::Bytes{256}, 2).mean(),
+              table.lookup(OpKind::kPtpOneWay, net::Bytes{256}, 2).mean(), 1e-5);
   std::stringstream bad{"not-a-table v9"};
   EXPECT_THROW((void)DistributionTable::load(bad), std::runtime_error);
 }
@@ -201,7 +201,7 @@ TEST(Table, SaveLoadRoundTrips) {
 TEST(Table, MeasureIsendTableCoversGrid) {
   mpibench::Options opt = bench_options(2, 1);
   opt.repetitions = 30;
-  const std::vector<net::Bytes> sizes{64, 1024};
+  const std::vector<net::Bytes> sizes{net::Bytes{64}, net::Bytes{1024}};
   const std::vector<mpibench::Config> configs{{2, 1}, {4, 1}};
   const DistributionTable table =
       mpibench::measure_isend_table(opt, sizes, configs);
@@ -209,7 +209,7 @@ TEST(Table, MeasureIsendTableCoversGrid) {
   EXPECT_EQ(table.size(), 8u);
   EXPECT_EQ(table.contentions(OpKind::kPtpOneWay), (std::vector<int>{1, 2}));
   EXPECT_EQ(table.sizes(OpKind::kPtpOneWay),
-            (std::vector<net::Bytes>{64, 1024}));
+            (std::vector<net::Bytes>{net::Bytes{64}, net::Bytes{1024}}));
 }
 
 }  // namespace

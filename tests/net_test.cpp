@@ -26,42 +26,43 @@ TEST(Link, SerialisationPlusLatency) {
   // 100 Mbit/s, 5 us latency: 1250 wire bytes = 100 us on the wire.
   net::LinkParams params{net::Rate::mbit(100), des::from_micros(5), 1_KiB * 64};
   net::Link link{engine, "l", params};
-  des::SimTime arrival = -1;
-  link.submit(packet(1, 0, 1, 1250),
+  des::SimTime arrival{-1};
+  link.submit(packet(1, 0, 1, net::Bytes{1250}),
               [&](const net::Packet&) { arrival = engine.now(); }, nullptr);
   engine.run();
-  EXPECT_EQ(arrival, des::from_micros(105));
+  EXPECT_EQ(arrival, des::SimTime::from_micros(105));
   EXPECT_EQ(link.packets_sent(), 1u);
-  EXPECT_EQ(link.bytes_sent(), 1250u);
+  EXPECT_EQ(link.bytes_sent(), net::Bytes{1250});
   EXPECT_EQ(link.busy_time(), des::from_micros(100));
 }
 
 TEST(Link, FifoQueueingDelaysSecondPacket) {
   des::Engine engine;
-  net::LinkParams params{net::Rate::mbit(100), 0, 1_KiB * 64};
+  net::LinkParams params{net::Rate::mbit(100), des::Duration{}, 1_KiB * 64};
   net::Link link{engine, "l", params};
   std::vector<des::SimTime> arrivals;
   for (int i = 0; i < 3; ++i) {
-    link.submit(packet(i, 0, 1, 1250),
+    link.submit(packet(i, 0, 1, net::Bytes{1250}),
                 [&](const net::Packet&) { arrivals.push_back(engine.now()); },
                 nullptr);
   }
   engine.run();
   ASSERT_EQ(arrivals.size(), 3u);
-  EXPECT_EQ(arrivals[0], des::from_micros(100));
-  EXPECT_EQ(arrivals[1], des::from_micros(200));
-  EXPECT_EQ(arrivals[2], des::from_micros(300));
-  EXPECT_EQ(link.peak_backlog(), 3750u);
+  EXPECT_EQ(arrivals[0], des::SimTime::from_micros(100));
+  EXPECT_EQ(arrivals[1], des::SimTime::from_micros(200));
+  EXPECT_EQ(arrivals[2], des::SimTime::from_micros(300));
+  EXPECT_EQ(link.peak_backlog(), net::Bytes{3750});
 }
 
 TEST(Link, TailDropWhenBufferFull) {
   des::Engine engine;
-  net::LinkParams params{net::Rate::mbit(100), 0, 2500};  // two packets max
+  net::LinkParams params{net::Rate::mbit(100), des::Duration{},
+                         net::Bytes{2500}};  // two packets max
   net::Link link{engine, "l", params};
   int delivered = 0;
   int dropped = 0;
   for (int i = 0; i < 4; ++i) {
-    link.submit(packet(i, 0, 1, 1250),
+    link.submit(packet(i, 0, 1, net::Bytes{1250}),
                 [&](const net::Packet&) { ++delivered; },
                 [&](const net::Packet&) { ++dropped; });
   }
@@ -73,22 +74,22 @@ TEST(Link, TailDropWhenBufferFull) {
 
 TEST(Link, BacklogDrainsAfterServicing) {
   des::Engine engine;
-  net::LinkParams params{net::Rate::mbit(100), 0, 64_KiB};
+  net::LinkParams params{net::Rate::mbit(100), des::Duration{}, 64_KiB};
   net::Link link{engine, "l", params};
-  link.submit(packet(0, 0, 1, 1250), nullptr, nullptr);
-  EXPECT_EQ(link.backlog(), 1250u);
+  link.submit(packet(0, 0, 1, net::Bytes{1250}), nullptr, nullptr);
+  EXPECT_EQ(link.backlog(), net::Bytes{1250});
   engine.run();
-  EXPECT_EQ(link.backlog(), 0u);
+  EXPECT_EQ(link.backlog(), net::Bytes{});
 }
 
 TEST(Link, PerPacketServiceDominatesSmallFrames) {
   des::Engine engine;
-  net::LinkParams params{net::Rate::gbit(2.1), 0, 1_KiB * 1024,
+  net::LinkParams params{net::Rate::gbit(2.1), des::Duration{}, 1_KiB * 1024,
                          des::from_micros(2)};
   net::Link link{engine, "l", params};
   std::vector<des::SimTime> arrivals;
   for (int i = 0; i < 2; ++i) {
-    link.submit(packet(i, 0, 1, 84),
+    link.submit(packet(i, 0, 1, net::Bytes{84}),
                 [&](const net::Packet&) { arrivals.push_back(engine.now()); },
                 nullptr);
   }
@@ -124,7 +125,7 @@ TEST(Network, DeliversAcrossSwitches) {
   net::ClusterParams params = net::perseus(48);
   net::Network network{engine, params};
   bool delivered = false;
-  network.send(packet(1, 0, 47, 1538),
+  network.send(packet(1, 0, 47, net::Bytes{1538}),
                [&](const net::Packet&) { delivered = true; }, nullptr);
   engine.run();
   EXPECT_TRUE(delivered);
@@ -175,7 +176,7 @@ rto_ms = 100
   const net::ClusterParams p = net::parse_cluster(is, net::perseus(64));
   EXPECT_EQ(p.nodes, 8);
   EXPECT_NEAR(p.nic.rate.bps(), 10e6, 1);
-  EXPECT_EQ(p.mpi.eager_threshold, 4096u);
+  EXPECT_EQ(p.mpi.eager_threshold, net::Bytes{4096});
   EXPECT_EQ(p.tcp.rto_initial, des::from_micros(100e3));
 }
 
@@ -193,16 +194,17 @@ TEST(Units, RateConversions) {
   EXPECT_DOUBLE_EQ(net::Rate::gbit(2.1).bps(), 2.1e9);
   EXPECT_DOUBLE_EQ(net::Rate::mbyte(10).byte_per_sec(), 1e7);
   // 1538 bytes at 100 Mbit/s = 123.04 us.
-  EXPECT_EQ(net::Rate::mbit(100).time_to_send(1538), 123040);
+  EXPECT_EQ(net::Rate::mbit(100).time_to_send(net::Bytes{1538}),
+            des::Duration{123040});
 }
 
 TEST(Units, WireFormatFraming) {
   const net::WireFormat wire;
-  EXPECT_EQ(wire.mss(), 1460u);
+  EXPECT_EQ(wire.mss(), net::Bytes{1460});
   // Full frame: 1460 + 40 + 18 + 20 = 1538 wire bytes.
-  EXPECT_EQ(wire.segment_wire_bytes(1460), 1538u);
+  EXPECT_EQ(wire.segment_wire_bytes(net::Bytes{1460}), net::Bytes{1538});
   // Tiny segments pad to the 64-byte minimum plus preamble/IFG.
-  EXPECT_EQ(wire.ack_wire_bytes(), 84u);
+  EXPECT_EQ(wire.ack_wire_bytes(), net::Bytes{84});
 }
 
 }  // namespace

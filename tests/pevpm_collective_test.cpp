@@ -15,7 +15,7 @@ using mpibench::OpKind;
 
 DistributionTable ptp_table(double oneway_s, double sender_s) {
   DistributionTable table;
-  for (const net::Bytes size : {net::Bytes{0}, net::Bytes{1} << 20}) {
+  for (const net::Bytes size : {net::Bytes{0}, net::Bytes{1ULL << 20}}) {
     table.insert(OpKind::kPtpOneWay, size, 1,
                  stats::EmpiricalDistribution::constant(oneway_s));
     table.insert(OpKind::kPtpSender, size, 1,
@@ -64,7 +64,7 @@ loop 5 {
 
 TEST(VmCollective, BcastUsesMeasuredTableWhenPresent) {
   DistributionTable table = ptp_table(1e-3, 0.0);
-  table.insert(OpKind::kBcast, 4096, 4,
+  table.insert(OpKind::kBcast, net::Bytes{4096}, 4,
                stats::EmpiricalDistribution::constant(7e-3));
   const auto model = pevpm::parse_model("bcast size = 4096 root = 0\n");
   const auto result = run(model, 4, table);
@@ -157,18 +157,19 @@ TEST(Theoretical, TableMatchesHockneyMeans) {
   machine.latency_s = 100e-6;
   machine.bandwidth_Bps = 10e6;
   machine.noise_sigma = 0.05;
-  const std::vector<net::Bytes> sizes{0, 1024, 65536};
+  const std::vector<net::Bytes> sizes{net::Bytes{0}, net::Bytes{1024},
+                                      net::Bytes{65536}};
   const std::vector<int> contentions{1, 32};
   const auto table =
       pevpm::make_theoretical_table(machine, sizes, contentions);
   // 12 entries: 3 sizes x 2 levels x 2 ops.
   EXPECT_EQ(table.size(), 12u);
-  const auto quiet = table.lookup(OpKind::kPtpOneWay, 65536, 1);
+  const auto quiet = table.lookup(OpKind::kPtpOneWay, net::Bytes{65536}, 1);
   // Base time: 100 us + 65536/10e6 = 6.65 ms; the noise term only adds.
   EXPECT_GE(quiet.min(), 6.6e-3);
   EXPECT_LT(quiet.mean(), 7.5e-3);
   // Contention level 32 is slower on average.
-  const auto busy = table.lookup(OpKind::kPtpOneWay, 65536, 32);
+  const auto busy = table.lookup(OpKind::kPtpOneWay, net::Bytes{65536}, 32);
   EXPECT_GT(busy.mean(), quiet.mean());
 }
 
@@ -180,8 +181,8 @@ TEST(Sampler, FittedSamplingTracksHistogramSampling) {
   stats::Histogram h{5e-6};
   stats::Rng gen{12};
   for (int i = 0; i < 5000; ++i) h.add(200e-6 + gen.exponential(40e-6));
-  table.insert(OpKind::kPtpOneWay, 1024, 1, stats::EmpiricalDistribution{h});
-  table.insert(OpKind::kPtpSender, 1024, 1,
+  table.insert(OpKind::kPtpOneWay, net::Bytes{1024}, 1, stats::EmpiricalDistribution{h});
+  table.insert(OpKind::kPtpSender, net::Bytes{1024}, 1,
                stats::EmpiricalDistribution::constant(20e-6));
 
   pevpm::SamplerOptions hist_opts;
@@ -193,8 +194,8 @@ TEST(Sampler, FittedSamplingTracksHistogramSampling) {
   stats::Summary hist_mean;
   stats::Summary fit_mean;
   for (int i = 0; i < 4000; ++i) {
-    hist_mean.add(hist_sampler.delivery_seconds(1024, 1));
-    const double v = fit_sampler.delivery_seconds(1024, 1);
+    hist_mean.add(hist_sampler.delivery_seconds(net::Bytes{1024}, 1));
+    const double v = fit_sampler.delivery_seconds(net::Bytes{1024}, 1);
     EXPECT_GE(v, 190e-6);  // fitted support respects the bounded minimum
     fit_mean.add(v);
   }
@@ -203,15 +204,15 @@ TEST(Sampler, FittedSamplingTracksHistogramSampling) {
   // Average/minimum modes follow the fit.
   fit_opts.mode = pevpm::PredictionMode::kAverage;
   pevpm::DeliverySampler fit_avg{table, fit_opts, 5};
-  EXPECT_NEAR(fit_avg.delivery_seconds(1024, 1), 240e-6, 15e-6);
+  EXPECT_NEAR(fit_avg.delivery_seconds(net::Bytes{1024}, 1), 240e-6, 15e-6);
   fit_opts.mode = pevpm::PredictionMode::kMinimum;
   pevpm::DeliverySampler fit_min{table, fit_opts, 5};
-  EXPECT_NEAR(fit_min.delivery_seconds(1024, 1), 200e-6, 12e-6);
+  EXPECT_NEAR(fit_min.delivery_seconds(net::Bytes{1024}, 1), 200e-6, 12e-6);
 }
 
 TEST(Theoretical, DrivesEndToEndPrediction) {
   pevpm::TheoreticalMachine machine;
-  const std::vector<net::Bytes> sizes{1024};
+  const std::vector<net::Bytes> sizes{net::Bytes{1024}};
   const std::vector<int> contentions{1, 8};
   const auto table =
       pevpm::make_theoretical_table(machine, sizes, contentions);

@@ -19,13 +19,13 @@ using mpibench::OpKind;
 DistributionTable constant_table(double oneway_s, double sender_s,
                                  int contention = 1) {
   DistributionTable table;
-  table.insert(OpKind::kPtpOneWay, 0, contention,
+  table.insert(OpKind::kPtpOneWay, net::Bytes{0}, contention,
                stats::EmpiricalDistribution::constant(oneway_s));
-  table.insert(OpKind::kPtpOneWay, 1 << 20, contention,
+  table.insert(OpKind::kPtpOneWay, net::Bytes{1<<20}, contention,
                stats::EmpiricalDistribution::constant(oneway_s));
-  table.insert(OpKind::kPtpSender, 0, contention,
+  table.insert(OpKind::kPtpSender, net::Bytes{0}, contention,
                stats::EmpiricalDistribution::constant(sender_s));
-  table.insert(OpKind::kPtpSender, 1 << 20, contention,
+  table.insert(OpKind::kPtpSender, net::Bytes{1<<20}, contention,
                stats::EmpiricalDistribution::constant(sender_s));
   return table;
 }
@@ -201,8 +201,8 @@ TEST(Vm, AverageAndMinimumModesAreDeterministicBounds) {
   stats::Histogram h{1e-4};
   h.add(1e-3);
   h.add(3e-3);
-  table.insert(OpKind::kPtpOneWay, 100, 1, stats::EmpiricalDistribution{h});
-  table.insert(OpKind::kPtpSender, 100, 1,
+  table.insert(OpKind::kPtpOneWay, net::Bytes{100}, 1, stats::EmpiricalDistribution{h});
+  table.insert(OpKind::kPtpSender, net::Bytes{100}, 1,
                stats::EmpiricalDistribution::constant(0.0));
   const char* text = R"(
 runon procnum == 0 {
@@ -258,8 +258,8 @@ runon procnum == 0 {
 
 TEST(Scoreboard, FifoClaimAndOutstandingCount) {
   pevpm::Scoreboard board;
-  const auto m1 = board.add(0, 1, 100, 0.0, 1);
-  const auto m2 = board.add(0, 1, 200, 0.1, 2);
+  const auto m1 = board.add(0, 1, net::Bytes{100}, 0.0, 1);
+  const auto m2 = board.add(0, 1, net::Bytes{200}, 0.1, 2);
   EXPECT_EQ(board.outstanding(), 2);
   const auto c1 = board.claim(0, 1);
   EXPECT_EQ(c1->id, m1->id);
@@ -275,7 +275,7 @@ TEST(Scoreboard, FifoClaimAndOutstandingCount) {
 
 TEST(Scoreboard, UnassignedDrainsOnce) {
   pevpm::Scoreboard board;
-  board.add(0, 1, 100, 0.0, 1);
+  board.add(0, 1, net::Bytes{100}, 0.0, 1);
   EXPECT_EQ(board.take_unassigned().size(), 1u);
   EXPECT_TRUE(board.take_unassigned().empty());
 }
@@ -322,35 +322,35 @@ TEST(Predict, SpeedupsComputedAgainstSingleProcess) {
 
 TEST(Sampler, FixedContentionIgnoresScoreboard) {
   DistributionTable table;
-  table.insert(OpKind::kPtpOneWay, 100, 1,
+  table.insert(OpKind::kPtpOneWay, net::Bytes{100}, 1,
                stats::EmpiricalDistribution::constant(1e-3));
-  table.insert(OpKind::kPtpOneWay, 100, 32,
+  table.insert(OpKind::kPtpOneWay, net::Bytes{100}, 32,
                stats::EmpiricalDistribution::constant(9e-3));
   pevpm::SamplerOptions opts;
   opts.mode = pevpm::PredictionMode::kAverage;
   opts.contention = pevpm::ContentionSource::kFixed;
   opts.fixed_contention = 1;
   pevpm::DeliverySampler fixed{table, opts, 1};
-  EXPECT_NEAR(fixed.delivery_seconds(100, 32), 1e-3, 1e-9);
+  EXPECT_NEAR(fixed.delivery_seconds(net::Bytes{100}, 32), 1e-3, 1e-9);
   opts.contention = pevpm::ContentionSource::kScoreboard;
   pevpm::DeliverySampler scoreboard{table, opts, 1};
-  EXPECT_NEAR(scoreboard.delivery_seconds(100, 32), 9e-3, 1e-9);
+  EXPECT_NEAR(scoreboard.delivery_seconds(net::Bytes{100}, 32), 9e-3, 1e-9);
 }
 
 TEST(Sampler, FallbackSenderCostWhenTableLacksEntries) {
   DistributionTable table;
-  table.insert(OpKind::kPtpOneWay, 100, 1,
+  table.insert(OpKind::kPtpOneWay, net::Bytes{100}, 1,
                stats::EmpiricalDistribution::constant(1e-3));
   pevpm::SamplerOptions opts;
   opts.default_sender_seconds = 33e-6;
   pevpm::DeliverySampler sampler{table, opts, 1};
-  EXPECT_DOUBLE_EQ(sampler.sender_seconds(100, 1), 33e-6);
+  EXPECT_DOUBLE_EQ(sampler.sender_seconds(net::Bytes{100}, 1), 33e-6);
 }
 
 TEST(Sampler, MissingOneWayTableThrows) {
   DistributionTable table;
   pevpm::DeliverySampler sampler{table, {}, 1};
-  EXPECT_THROW((void)sampler.delivery_seconds(100, 1), std::runtime_error);
+  EXPECT_THROW((void)sampler.delivery_seconds(net::Bytes{100}, 1), std::runtime_error);
 }
 
 }  // namespace

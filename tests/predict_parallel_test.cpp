@@ -73,7 +73,7 @@ mpibench::DistributionTable synthetic_table() {
     for (int i = 0; i < 200; ++i) {
       xs.push_back(20e-6 * contention / 2 + 10e-6 * rng.uniform());
     }
-    table.insert(mpibench::OpKind::kPtpOneWay, 1024, contention,
+    table.insert(mpibench::OpKind::kPtpOneWay, net::Bytes{1024}, contention,
                  stats::EmpiricalDistribution::from_samples(xs));
   }
   return table;
@@ -157,11 +157,12 @@ TEST(PredictParallel, AutoThreadsMatchesSerialResult) {
 // alternating keys so the memo thrashes — and must run clean under TSan.
 TEST(SamplerConcurrency, WarmAverageModeReadersShareTheMemo) {
   mpibench::DistributionTable table;
-  const std::vector<net::Bytes> sizes{64, 1024, 65536};
+  const std::vector<net::Bytes> sizes{net::Bytes{64}, net::Bytes{1024},
+                                      net::Bytes{65536}};
   for (const net::Bytes bytes : sizes) {
     table.insert(mpibench::OpKind::kPtpOneWay, bytes, 2,
                  stats::EmpiricalDistribution::constant(
-                     1e-6 * static_cast<double>(bytes + 1)));
+                     1e-6 * (bytes.to_double() + 1)));
   }
   pevpm::SamplerOptions options;
   options.mode = pevpm::PredictionMode::kAverage;

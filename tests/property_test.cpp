@@ -28,7 +28,7 @@ using net::operator""_KiB;
 // ---------------------------------------------------------------------------
 
 struct TransportCase {
-  net::Bytes nic_buffer_frames;
+  std::uint64_t nic_buffer_frames;
   std::uint64_t seed;
 };
 
@@ -37,7 +37,7 @@ class TransportReliability : public ::testing::TestWithParam<TransportCase> {};
 TEST_P(TransportReliability, ExactlyOnceInOrder) {
   const TransportCase c = GetParam();
   net::ClusterParams params = net::perseus(4);
-  params.nic.buffer = c.nic_buffer_frames * 1538;
+  params.nic.buffer = net::Bytes{c.nic_buffer_frames * 1538};
   des::Engine engine;
   net::Network network{engine, params};
   net::Transport transport{engine, network};
@@ -50,7 +50,7 @@ TEST_P(TransportReliability, ExactlyOnceInOrder) {
     const int src = static_cast<int>(rng.below(4));
     int dst = static_cast<int>(rng.below(4));
     if (dst == src) dst = (dst + 1) % 4;
-    const net::Bytes bytes = 1 + rng.below(48_KiB);
+    const net::Bytes bytes{1 + rng.below((48_KiB).count())};
     const std::uint64_t stream =
         (static_cast<std::uint64_t>(src) << 8) | static_cast<unsigned>(dst);
     expected[dst].push_back(id);
@@ -102,7 +102,7 @@ TEST_P(MpiDeterminism, RepeatRunsAgreeExactly) {
       comm.barrier();
       const double v = comm.allreduce_one(comm.rank() * 1.5,
                                           smpi::ReduceOp::kSum);
-      comm.alltoall_bytes(777);
+      comm.alltoall_bytes(net::Bytes{777});
       sums[comm.rank()] = v;
     });
     return std::pair{rt.elapsed(), sums};
@@ -187,9 +187,9 @@ loop 20 {
   stats::Histogram hist{1e-5};
   stats::Rng noise{99};
   for (int i = 0; i < 500; ++i) hist.add(300e-6 + noise.exponential(60e-6));
-  table.insert(mpibench::OpKind::kPtpOneWay, 2048, 1,
+  table.insert(mpibench::OpKind::kPtpOneWay, net::Bytes{2048}, 1,
                stats::EmpiricalDistribution{hist});
-  table.insert(mpibench::OpKind::kPtpSender, 2048, 1,
+  table.insert(mpibench::OpKind::kPtpSender, net::Bytes{2048}, 1,
                stats::EmpiricalDistribution::constant(30e-6));
 
   pevpm::DeliverySampler s1{table, {}, 5};

@@ -66,7 +66,7 @@ TEST(RouteCache, ArgumentValidationMatchesRoute) {
 TEST(RouteCache, ParamsSurviveByValueConstruction) {
   des::Engine engine;
   net::ClusterParams params = net::perseus(6);
-  const des::SimTime latency = params.switch_latency;
+  const des::Duration latency = params.switch_latency;
   net::Network network{engine, params};  // copies; ctor moves internally
   EXPECT_EQ(network.params().nodes, 6);
   EXPECT_EQ(network.params().switch_latency, latency);

@@ -32,7 +32,7 @@ mpibench::Options bench_options(int sim_threads) {
 }
 
 std::string fit_artifact(int sim_threads, int jobs) {
-  const std::vector<net::Bytes> sizes{256, 4096};
+  const std::vector<net::Bytes> sizes{net::Bytes{256}, net::Bytes{4096}};
   const std::vector<mpibench::Config> configs{{2, 1}, {4, 1}, {8, 1}};
   const auto table = mpibench::measure_isend_table(
       bench_options(sim_threads), sizes, configs, jobs);
@@ -56,7 +56,7 @@ mpibench::DistributionTable law_table() {
        {net::Bytes{256}, net::Bytes{1024}, net::Bytes{4096}}) {
     for (const int p : {1, 2, 4}) {
       const double base =
-          5e-6 + 2e-9 * static_cast<double>(s) * std::log2(p + 1.0);
+          5e-6 + 2e-9 * s.to_double() * std::log2(p + 1.0);
       std::vector<double> samples;
       for (int i = 0; i < 32; ++i) {
         samples.push_back(base * (0.9 + 0.2 * (i + 0.5) / 32.0));
@@ -86,16 +86,16 @@ TEST(SamplerScaling, OffGridKeysUseModelInsteadOfEdgeClamp) {
   pevpm::DeliverySampler extrapolating{table, with_model, 1};
   pevpm::DeliverySampler clamping{table, without_model, 1};
   // 4x the largest measured size at 2x the largest level.
-  const double predicted = extrapolating.delivery_seconds(16384, 8);
-  const double clamped = clamping.delivery_seconds(16384, 8);
+  const double predicted = extrapolating.delivery_seconds(net::Bytes{16384}, 8);
+  const double clamped = clamping.delivery_seconds(net::Bytes{16384}, 8);
   const double law = 5e-6 + 2e-9 * 16384.0 * std::log2(9.0);
   EXPECT_NEAR(predicted, law, 0.15 * law);
   // The edge clamp answers with the (4096, 4) cell — far below the law.
   EXPECT_LT(clamped, 0.5 * predicted);
 
   // On-grid keys keep answering from the table, model present or not.
-  EXPECT_EQ(extrapolating.delivery_seconds(1024, 2),
-            clamping.delivery_seconds(1024, 2));
+  EXPECT_EQ(extrapolating.delivery_seconds(net::Bytes{1024}, 2),
+            clamping.delivery_seconds(net::Bytes{1024}, 2));
 }
 
 TEST(SamplerScaling, ModelCoversOpsWithNoTableEntries) {
@@ -115,7 +115,7 @@ TEST(SamplerScaling, ModelCoversOpsWithNoTableEntries) {
   options.mode = pevpm::PredictionMode::kAverage;
   options.scaling = &model;
   pevpm::DeliverySampler sampler{table, options, 1};
-  const double t = sampler.collective_seconds(pevpm::CollOp::kBcast, 512, 4);
+  const double t = sampler.collective_seconds(pevpm::CollOp::kBcast, net::Bytes{512}, 4);
   EXPECT_NEAR(t, 4e-5, 1e-6);
 }
 

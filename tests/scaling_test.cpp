@@ -131,7 +131,7 @@ mpibench::DistributionTable synthetic_table(OpKind op) {
                              net::Bytes{4096}, net::Bytes{16384}}) {
     for (const int p : {1, 2, 4, 8}) {
       const double base =
-          2e-6 + 1.5e-9 * static_cast<double>(s) * std::log2(p + 1.0);
+          2e-6 + 1.5e-9 * s.to_double() * std::log2(p + 1.0);
       std::vector<double> samples;
       for (int i = 0; i < 64; ++i) {
         const double q = (i + 0.5) / 64.0;
@@ -161,7 +161,9 @@ TEST(ScalingModel, QuantilesAreMonotoneAndAccurate) {
   const auto q = model.quantiles(OpKind::kPtpOneWay, 65536.0, 16.0);
   const double law = 2e-6 + 1.5e-9 * 65536.0 * std::log2(17.0);
   for (int t = 0; t < scaling::ScalingModel::kTracks; ++t) {
-    if (t > 0) EXPECT_GE(q[t], q[t - 1]);
+    if (t > 0) {
+      EXPECT_GE(q[t], q[t - 1]);
+    }
     const double expected =
         law * (0.9 + 0.2 * scaling::ScalingModel::track_quantile(t));
     EXPECT_NEAR(q[t], expected, 0.1 * expected);
@@ -172,7 +174,7 @@ TEST(ScalingModel, DistributionHasEqualWeightAtoms) {
   const auto table = synthetic_table(OpKind::kPtpOneWay);
   const scaling::ScalingModel model = scaling::fit_scaling_model(table);
   const stats::EmpiricalDistribution dist =
-      model.distribution(OpKind::kPtpOneWay, 65536, 16);
+      model.distribution(OpKind::kPtpOneWay, net::Bytes{65536}, 16);
   const auto q = model.quantiles(OpKind::kPtpOneWay, 65536.0, 16.0);
   EXPECT_DOUBLE_EQ(dist.min(), q.front());
   EXPECT_DOUBLE_EQ(dist.max(), q.back());
@@ -231,9 +233,9 @@ TEST(CrossValidate, SyntheticLawValidatesTightly) {
 
 TEST(CrossValidate, SkipsOpsWithTooFewCells) {
   mpibench::DistributionTable table;
-  table.insert(OpKind::kBarrier, 0, 2,
+  table.insert(OpKind::kBarrier, net::Bytes{0}, 2,
                stats::EmpiricalDistribution::constant(1e-6));
-  table.insert(OpKind::kBarrier, 0, 4,
+  table.insert(OpKind::kBarrier, net::Bytes{0}, 4,
                stats::EmpiricalDistribution::constant(2e-6));
   const scaling::CrossValidationReport report =
       scaling::cross_validate(table);

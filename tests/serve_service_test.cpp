@@ -29,7 +29,7 @@ std::string table_text() {
     opt.repetitions = 40;
     opt.warmup = 8;
     opt.seed = 777;
-    const std::vector<net::Bytes> sizes{1024};
+    const std::vector<net::Bytes> sizes{net::Bytes{1024}};
     const std::vector<mpibench::Config> configs{{2, 1}, {4, 1}};
     std::ostringstream out;
     mpibench::measure_isend_table(opt, sizes, configs).save(out);
@@ -212,7 +212,10 @@ TEST(ServeService, BoundedQueueRejectsWithRetryAfterInsteadOfBlocking) {
 
   // Occupy the single queue slot with a long request...
   pevpm::PredictRequest slow = chain_request(5);
-  slow.options.replications = 64;
+  // Enough replications that the occupant is still mid-run when the probe
+  // below is admitted — 64 was only ~1 ms of work, losing the race on a
+  // loaded box.
+  slow.options.replications = 8192;
   std::thread occupant{[&] {
     const auto response = service.predict(slow);
     EXPECT_EQ(response.status, 200) << response.error;
@@ -232,7 +235,7 @@ TEST(ServeService, BoundedQueueRejectsWithRetryAfterInsteadOfBlocking) {
           std::chrono::steady_clock::now() - start)
           .count();
   EXPECT_EQ(rejected.status, 503);
-  EXPECT_GT(rejected.retry_after_ms, 0.0);
+  EXPECT_GT(rejected.retry_after.to_millis(), 0.0);
   // "Immediately" leaves slack for a slow CI box; the occupant runs for
   // far longer than this.
   EXPECT_LT(waited_ms, 1000.0);
@@ -247,7 +250,8 @@ TEST(ServeService, ExpiredDeadlineAnswers504) {
   serve::Service service{options};
   // A deadline of one nanosecond has always passed by the time a worker
   // scans the job, whatever the scheduler does.
-  const auto response = service.predict(chain_request(7), 1e-6);
+  const auto response =
+      service.predict(chain_request(7), units::Duration::from_millis(1e-6));
   EXPECT_EQ(response.status, 504);
   EXPECT_EQ(service.stats().deadline_expired, 1u);
 }

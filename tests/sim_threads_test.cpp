@@ -47,7 +47,7 @@ TEST(SimThreads, IsendIsBitIdenticalAtEveryThreadCount) {
   mpibench::Options opt = multi_switch_options();
   ASSERT_EQ(opt.cluster.switch_count(), 3);
   for (const net::Bytes size : {net::Bytes{256}, net::Bytes{16384}}) {
-    SCOPED_TRACE("size " + std::to_string(size));
+    SCOPED_TRACE("size " + std::to_string(size.count()));
     opt.sim_threads = 0;
     const auto sequential = mpibench::run_isend(opt, size);
     ASSERT_GT(sequential.messages, 0u);
@@ -69,12 +69,12 @@ TEST(SimThreads, FaultInjectionStaysDeterministic) {
   opt.cluster.fault.loss_rate = 0.02;
   opt.cluster.fault.seed = opt.seed;
   opt.sim_threads = 0;
-  const auto sequential = mpibench::run_isend(opt, 8192);
+  const auto sequential = mpibench::run_isend(opt, net::Bytes{8192});
   ASSERT_GT(sequential.faults_injected, 0u) << "fault path not exercised";
   for (const int threads : {1, 3}) {
     SCOPED_TRACE("sim_threads " + std::to_string(threads));
     opt.sim_threads = threads;
-    expect_identical(mpibench::run_isend(opt, 8192), sequential);
+    expect_identical(mpibench::run_isend(opt, net::Bytes{8192}), sequential);
   }
 }
 
@@ -85,10 +85,10 @@ TEST(SimThreads, AlltoallIsBitIdentical) {
   opt.repetitions = 10;
   opt.warmup = 2;
   opt.sim_threads = 0;
-  const auto sequential = mpibench::run_alltoall(opt, 1024);
+  const auto sequential = mpibench::run_alltoall(opt, net::Bytes{1024});
   ASSERT_GT(sequential.operations, 0u);
   opt.sim_threads = 3;
-  const auto partitioned = mpibench::run_alltoall(opt, 1024);
+  const auto partitioned = mpibench::run_alltoall(opt, net::Bytes{1024});
   EXPECT_EQ(partitioned.operations, sequential.operations);
   EXPECT_EQ(partitioned.completion.to_csv(), sequential.completion.to_csv());
   EXPECT_EQ(partitioned.tcp_retransmits, sequential.tcp_retransmits);
@@ -100,7 +100,7 @@ TEST(SimThreads, TableAssemblyComposesWithJobFanOut) {
   // across independent sweep cells) are orthogonal; combined they must
   // still reproduce the sequential single-job table byte for byte.
   mpibench::Options opt = multi_switch_options();
-  const std::vector<net::Bytes> sizes{512, 4096};
+  const std::vector<net::Bytes> sizes{net::Bytes{512}, net::Bytes{4096}};
   const std::vector<mpibench::Config> configs{{12, 1}};
   opt.sim_threads = 0;
   const auto reference = mpibench::measure_isend_table(opt, sizes, configs, 1);
@@ -120,10 +120,10 @@ TEST(SimThreads, SmpAndMultiRankNodesStayDeterministic) {
   opt.procs_per_node = 2;
   opt.repetitions = 15;
   opt.sim_threads = 0;
-  const auto sequential = mpibench::run_isend(opt, 2048);
+  const auto sequential = mpibench::run_isend(opt, net::Bytes{2048});
   ASSERT_GT(sequential.messages, 0u);
   opt.sim_threads = 2;
-  expect_identical(mpibench::run_isend(opt, 2048), sequential);
+  expect_identical(mpibench::run_isend(opt, net::Bytes{2048}), sequential);
 }
 
 }  // namespace

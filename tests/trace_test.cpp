@@ -5,22 +5,23 @@
 #include <thread>
 #include <vector>
 
+#include "des/time.h"
 #include "trace/trace.h"
 
 namespace {
 
 TEST(Trace, DisabledTracerRecordsNothing) {
   trace::Tracer tracer;
-  tracer.record(1, trace::Category::kMpi, 0, "x");
+  tracer.record(des::SimTime{1}, trace::Category::kMpi, 0, "x");
   EXPECT_TRUE(tracer.records().empty());
 }
 
 TEST(Trace, EnabledTracerRecordsAndCounts) {
   trace::Tracer tracer;
   tracer.enable();
-  tracer.record(10, trace::Category::kPacket, 3, "tx");
-  tracer.record(20, trace::Category::kPacket, 3, "rx");
-  tracer.record(30, trace::Category::kMpi, 1, "send");
+  tracer.record(des::SimTime{10}, trace::Category::kPacket, 3, "tx");
+  tracer.record(des::SimTime{20}, trace::Category::kPacket, 3, "rx");
+  tracer.record(des::SimTime{30}, trace::Category::kMpi, 1, "send");
   EXPECT_EQ(tracer.records().size(), 3u);
   EXPECT_EQ(tracer.count(trace::Category::kPacket), 2u);
   EXPECT_EQ(tracer.count(trace::Category::kPevpm), 0u);
@@ -29,7 +30,7 @@ TEST(Trace, EnabledTracerRecordsAndCounts) {
 TEST(Trace, CsvDumpIncludesAllFields) {
   trace::Tracer tracer;
   tracer.enable();
-  tracer.record(42, trace::Category::kLink, 7, "drop");
+  tracer.record(des::SimTime{42}, trace::Category::kLink, 7, "drop");
   std::ostringstream os;
   tracer.dump_csv(os);
   EXPECT_NE(os.str().find("time_ns,category,subject,detail"),
@@ -40,7 +41,7 @@ TEST(Trace, CsvDumpIncludesAllFields) {
 TEST(Trace, ClearResets) {
   trace::Tracer tracer;
   tracer.enable();
-  tracer.record(1, trace::Category::kProcess, 0, "a");
+  tracer.record(des::SimTime{1}, trace::Category::kProcess, 0, "a");
   tracer.clear();
   EXPECT_TRUE(tracer.records().empty());
 }
@@ -57,7 +58,7 @@ TEST(Trace, ConcurrentRecordingLosesNothing) {
   for (int t = 0; t < kThreads; ++t) {
     workers.emplace_back([&tracer, t] {
       for (int i = 0; i < kPerThread; ++i) {
-        tracer.record(i, trace::Category::kPevpm, t, "rep");
+        tracer.record(des::SimTime{i}, trace::Category::kPevpm, t, "rep");
       }
     });
   }

@@ -22,13 +22,13 @@ struct Fixture {
 
 TEST(Transport, SingleSegmentDelivery) {
   Fixture f{net::perseus(2)};
-  des::SimTime arrival = -1;
-  f.transport.send(1, 0, 1, 1000, [&] { arrival = f.engine.now(); });
+  des::SimTime arrival{-1};
+  f.transport.send(1, 0, 1, net::Bytes{1000}, [&] { arrival = f.engine.now(); });
   f.engine.run();
   // 1000 B + headers ~ 1098 wire bytes at 100 Mbit/s is ~88 us, plus
   // fabric, switch and propagation latencies: well under a millisecond.
-  EXPECT_GT(arrival, des::from_micros(80));
-  EXPECT_LT(arrival, des::from_micros(300));
+  EXPECT_GT(arrival, des::SimTime::from_micros(80));
+  EXPECT_LT(arrival, des::SimTime::from_micros(300));
   EXPECT_EQ(f.transport.messages_delivered(), 1u);
   EXPECT_EQ(f.transport.retransmits(), 0u);
 }
@@ -48,7 +48,7 @@ TEST(Transport, MessagesOnOneStreamDeliverInOrder) {
   Fixture f{net::perseus(2)};
   std::vector<int> order;
   for (int i = 0; i < 5; ++i) {
-    f.transport.send(1, 0, 1, 5000, [&, i] { order.push_back(i); });
+    f.transport.send(1, 0, 1, net::Bytes{5000}, [&, i] { order.push_back(i); });
   }
   f.engine.run();
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
@@ -65,7 +65,7 @@ TEST(Transport, DistinctStreamsProgressIndependently) {
 
 TEST(Transport, RecoversFromDropsViaRetransmission) {
   net::ClusterParams params = net::perseus(2);
-  params.nic.buffer = 3 * 1538;  // tiny interface queue: forced drops
+  params.nic.buffer = net::Bytes{3 * 1538};  // tiny interface queue: forced drops
   Fixture f{params};
   bool done = false;
   f.transport.send(1, 0, 1, 256_KiB, [&] { done = true; });
@@ -77,7 +77,7 @@ TEST(Transport, RecoversFromDropsViaRetransmission) {
 
 TEST(Transport, TimeoutPathRecoversWhenWholeWindowLost) {
   net::ClusterParams params = net::perseus(2);
-  params.nic.buffer = 1538;  // one frame: bursts collapse to singles
+  params.nic.buffer = net::Bytes{1538};  // one frame: bursts collapse to singles
   params.tcp.initial_cwnd = 8;
   Fixture f{params};
   bool done = false;
@@ -86,27 +86,30 @@ TEST(Transport, TimeoutPathRecoversWhenWholeWindowLost) {
   EXPECT_TRUE(done);
   EXPECT_GT(f.transport.timeouts(), 0u);
   // RTO is 200 ms; a run with timeouts lasts visibly longer than without.
-  EXPECT_GT(f.engine.now(), des::from_micros(200e3));
+  EXPECT_GT(f.engine.now(), des::SimTime::from_micros(200e3));
 }
 
 TEST(Transport, RejectsMisuse) {
   Fixture f{net::perseus(2)};
-  EXPECT_THROW(f.transport.send(1, 0, 1, 0, nullptr), std::invalid_argument);
-  EXPECT_THROW(f.transport.send(1, 0, 0, 10, nullptr), std::invalid_argument);
-  f.transport.send(7, 0, 1, 10, nullptr);
+  EXPECT_THROW(f.transport.send(1, 0, 1, net::Bytes{}, nullptr),
+               std::invalid_argument);
+  EXPECT_THROW(f.transport.send(1, 0, 0, net::Bytes{10}, nullptr),
+               std::invalid_argument);
+  f.transport.send(7, 0, 1, net::Bytes{10}, nullptr);
   // Stream 7 is now bound to 0->1; rebinding it is a bug in the caller.
-  EXPECT_THROW(f.transport.send(7, 1, 0, 10, nullptr), std::invalid_argument);
+  EXPECT_THROW(f.transport.send(7, 1, 0, net::Bytes{10}, nullptr),
+               std::invalid_argument);
   f.engine.run();
 }
 
 TEST(Transport, ThroughputApproachesWireRate) {
   Fixture f{net::perseus(2)};
-  des::SimTime done_at = 0;
+  des::SimTime done_at{};
   const net::Bytes bytes = 1_MiB;
   f.transport.send(1, 0, 1, bytes, [&] { done_at = f.engine.now(); });
   f.engine.run();
   const double seconds = des::to_seconds(done_at);
-  const double goodput_mbit = static_cast<double>(bytes) * 8 / seconds / 1e6;
+  const double goodput_mbit = bytes.to_double() * 8 / seconds / 1e6;
   // TCP over Fast Ethernet: expect 80-95 Mbit/s of goodput.
   EXPECT_GT(goodput_mbit, 80.0);
   EXPECT_LT(goodput_mbit, 96.0);

@@ -64,7 +64,7 @@ extern "C" void handle_signal(int) {
 struct Args {
   int nodes = 16;
   int ppn = 1;
-  std::vector<net::Bytes> sizes{0, 1024, 16384, 65536};
+  std::vector<net::Bytes> sizes{net::Bytes{0}, net::Bytes{1024}, net::Bytes{16384}, net::Bytes{65536}};
   int reps = 200;
   std::string op = "isend";
   int jobs = 1;
@@ -175,8 +175,8 @@ void apply_fault_profile(const std::string& spec, net::FaultParams& fault,
     fault.ge_p_exit = fields[1];
     fault.ge_loss_bad = fields[2];
   } else if (kind == "down" && fields.size() == 2) {
-    fault.down.push_back(net::DownWindow{des::from_micros(fields[0] * 1e3),
-                                         des::from_micros(fields[1] * 1e3)});
+    fault.down.push_back(net::DownWindow{des::SimTime{} + des::from_micros(fields[0] * 1e3),
+                                         des::SimTime{} + des::from_micros(fields[1] * 1e3)});
   } else {
     usage(argv0);
   }
@@ -258,19 +258,19 @@ int main(int argc, char** argv) {
         std::printf(
             "%10llu %10.1f %10.1f %10.1f %10.1f %10.1f %10.1f %8.1f %8llu "
             "%8llu\n",
-            static_cast<unsigned long long>(size), s.min() * 1e6,
+            static_cast<unsigned long long>(size.count()), s.min() * 1e6,
             s.mean() * 1e6, dist.quantile(0.5) * 1e6,
             dist.quantile(0.99) * 1e6, dist.quantile(0.999) * 1e6,
             s.max() * 1e6,
-            size > 0 ? static_cast<double>(size) * 8 / s.mean() / 1e6 : 0.0,
+            size > net::Bytes{} ? size.to_double() * 8 / s.mean() / 1e6 : 0.0,
             static_cast<unsigned long long>(result.tcp_retransmits),
             static_cast<unsigned long long>(result.faults_injected));
       } else {
         std::printf("%10llu %10.1f %10.1f %10.1f %10.1f %8.1f\n",
-                    static_cast<unsigned long long>(size), s.min() * 1e6,
+                    static_cast<unsigned long long>(size.count()), s.min() * 1e6,
                     s.mean() * 1e6, dist.quantile(0.99) * 1e6, s.max() * 1e6,
-                    size > 0 ? static_cast<double>(size) * 8 / s.mean() / 1e6
-                             : 0.0);
+                    size > net::Bytes{} ? size.to_double() * 8 / s.mean() / 1e6
+                                : 0.0);
       }
       if (args.histograms) {
         std::printf("%s\n", result.oneway.to_csv().c_str());
@@ -312,7 +312,7 @@ int main(int argc, char** argv) {
                                                    : args.sizes[i];
       const auto& s = result.completion.summary();
       std::printf("%10llu %10.1f %10.1f %10.1f\n",
-                  static_cast<unsigned long long>(size), s.min() * 1e6,
+                  static_cast<unsigned long long>(size.count()), s.min() * 1e6,
                   s.mean() * 1e6, s.max() * 1e6);
       if (faults) {
         std::printf("# tcp retransmits %llu, timeouts %llu, faults %llu\n",

@@ -75,7 +75,8 @@ int main(int argc, char** argv) {
       options.service.cache_capacity =
           static_cast<std::size_t>(std::stoul(value()));
     } else if (flag == "--deadline-ms") {
-      options.service.default_deadline_ms = std::stod(value());
+      options.service.default_deadline =
+          units::Duration::from_millis(std::stod(value()));
     } else if (flag == "--trace") {
       trace_file = value();
     } else if (flag == "--version") {

@@ -20,6 +20,13 @@
 //                       core/thread_annotations.h).
 //   using-namespace     no `using namespace` at header scope.
 //   unbalanced-fence    a hot-path begin without end (or vice versa).
+//   raw-time-param      no raw `double` / `int64_t` parameters or members
+//                       with time-quantity names (`*_ns`, `*_us`, `*_ms`,
+//                       `*timeout*`, `*deadline*`, ...) in headers outside
+//                       the declared conversion boundary (core/units.h,
+//                       des/time.h, the double-seconds cost-model domain).
+//                       Times are units::SimTime / units::Duration; the
+//                       float boundary is the tagged from_/to_ converters.
 //
 // Diagnostics are `file:line: [rule] message`. Findings can be suppressed
 // via a checked-in suppression file (`rule path[:line]` per line, `#`
@@ -81,6 +88,34 @@ constexpr std::string_view kBannedTypes[] = {"random_device", "system_clock"};
 constexpr std::string_view kBannedFunctions[] = {"rand", "srand", "time",
                                                  "getenv"};
 
+/// The declared raw-time conversion boundary: files that may spell times
+/// as raw doubles / int64_t nanoseconds. units.h and time.h *are* the
+/// converters; stats/ carries the empirical distributions whose domain is
+/// calibrated double seconds; scoreboard/vm/sampler are the prediction
+/// VM's cost-model core, which computes in those same double seconds.
+constexpr std::string_view kRawTimeExempt[] = {
+    // The unit types themselves and their converter boundary.
+    "src/core/units.h", "src/des/time.h",
+    // Continuous cost-model domain: seconds-valued statistics, fitted
+    // model parameters and scaling observations are double by design
+    // (they carry fractional seconds through regression and summaries).
+    "src/stats", "src/scaling", "src/core/predict.h",
+    "src/core/theoretical.h", "src/core/scoreboard.h", "src/core/vm.h",
+    "src/core/sampler.h",
+};
+
+/// Name suffixes that mark a value as a time quantity in some fixed unit.
+constexpr std::string_view kTimeSuffixes[] = {
+    "_ns", "_us", "_ms", "_sec", "_secs", "_seconds",
+    "_micros", "_millis", "_nanos",
+};
+
+/// Substrings that mark a name as time-valued whatever the unit.
+constexpr std::string_view kTimeWords[] = {
+    "timeout", "deadline", "latency", "duration",
+    "lookahead", "overhead", "_time", "time_",
+};
+
 /// Tokens that mean allocation, locking or iostream inside a hot-path fence.
 // clang-format off
 constexpr std::string_view kHotPathBanned[] = {
@@ -112,6 +147,15 @@ bool is_source_file(const fs::path& path) {
 
 std::string generic_path(const fs::path& path) {
   return path.generic_string();
+}
+
+/// True when `entry` names `path` itself (trailing components) or a
+/// directory it lives in (component-aligned substring, e.g. "src/stats"
+/// matches "../src/stats/rng.h").
+bool path_matches_file_or_dir(std::string_view path, std::string_view entry) {
+  const std::string needle = "/" + std::string{entry} + "/";
+  const std::string haystack = "/" + std::string{path};
+  return (haystack + "/").find(needle) != std::string::npos;
 }
 
 /// True when `suffix` matches whole trailing path components of `path`.
@@ -283,6 +327,11 @@ class Linter {
         [&](std::string_view exempt) {
           return path_suffix_match(display, exempt);
         });
+    const bool raw_time_exempt = std::any_of(
+        std::begin(kRawTimeExempt), std::end(kRawTimeExempt),
+        [&](std::string_view exempt) {
+          return path_matches_file_or_dir(display, exempt);
+        });
     Scrubber scrubber;
     bool in_hot_path = false;
     int hot_path_open_line = 0;
@@ -351,6 +400,9 @@ class Linter {
 
       if (header) {
         collect_mutex_member(code, tokens, line_no, mutex_members);
+        if (!raw_time_exempt) {
+          check_raw_time(display, line_no, code, tokens);
+        }
       }
     }
     if (in_hot_path) {
@@ -403,6 +455,54 @@ class Linter {
                  "src/stats/rng.* and src/core/version.* may use it");
       return;
     }
+  }
+
+  /// Flags `double name` / `int64_t name` declarations (parameters and
+  /// members alike) in headers when `name` reads as a time quantity. The
+  /// declaration shape is `type name` followed by one of `, ) ; =` — which
+  /// excludes `double seconds()` (function names are followed by `(`).
+  void check_raw_time(const std::string& file, int line_no,
+                      const std::string& code,
+                      const std::vector<Token>& tokens) {
+    for (std::size_t t = 0; t + 1 < tokens.size(); ++t) {
+      const std::string& type = tokens[t].text;
+      if (type != "double" && type != "int64_t") continue;
+      const Token& name = tokens[t + 1];
+      if (next_nonspace(code, tokens[t].column + type.size()) !=
+          name.text[0]) {
+        continue;
+      }
+      const char after =
+          next_nonspace(code, name.column + name.text.size());
+      if (after != ',' && after != ')' && after != ';' && after != '=') {
+        continue;
+      }
+      if (!is_time_named(name.text)) continue;
+      report(file, line_no, "raw-time-param",
+             "raw " + type + " time quantity `" + name.text +
+                 "` in a header; use units::SimTime / units::Duration "
+                 "(core/units.h) and convert at the declared boundary");
+    }
+  }
+
+  [[nodiscard]] static bool is_time_named(std::string_view name) {
+    for (const std::string_view suffix : kTimeSuffixes) {
+      if (name.size() >= suffix.size() &&
+          name.substr(name.size() - suffix.size()) == suffix) {
+        return true;
+      }
+    }
+    for (const std::string_view word : kTimeWords) {
+      if (name.find(word) != std::string_view::npos) return true;
+    }
+    for (const std::string_view exact :
+         {std::string_view{"ns"}, std::string_view{"us"},
+          std::string_view{"ms"}, std::string_view{"seconds"},
+          std::string_view{"micros"}, std::string_view{"millis"},
+          std::string_view{"nanos"}}) {
+      if (name == exact) return true;
+    }
+    return false;
   }
 
   void check_hot_path(const std::string& file, int line_no,

@@ -98,7 +98,7 @@ int main(int argc, char** argv) {
       for (const auto& cell : report.cells) {
         std::printf("%-12s %10llu %10d %10.3f %14.3f\n",
                     mpibench::to_string(cell.op).c_str(),
-                    static_cast<unsigned long long>(cell.size_bytes),
+                    static_cast<unsigned long long>(cell.size_bytes.count()),
                     cell.contention, 100.0 * cell.median_rel_error,
                     100.0 * cell.max_rel_error);
       }
